@@ -1,0 +1,45 @@
+"""Shared helpers for the figure-reproduction benchmarks.
+
+Each ``test_fig*.py`` regenerates one figure of the paper's evaluation:
+it sweeps the paper's parameter, prints the series in a paper-shaped
+table, persists it under ``benchmarks/results/`` (so the data survives
+pytest's output capture), and times a representative unit of work with
+pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Mapping
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def emit_series(figure: str, header: str, rows: "Iterable[Mapping]") -> str:
+    """Format, print, and persist one figure's data series.
+
+    Returns the formatted text (also written to
+    ``benchmarks/results/<figure>.txt``).
+    """
+    rows = list(rows)
+    if not rows:
+        raise ValueError(f"{figure}: no rows to emit")
+    keys = list(rows[0].keys())
+    widths = {k: max(len(str(k)), 12) for k in keys}
+    lines = [f"== {figure}: {header} =="]
+    lines.append("  ".join(str(k).ljust(widths[k]) for k in keys))
+    for r in rows:
+        cells = []
+        for k in keys:
+            v = r[k]
+            if isinstance(v, float):
+                cells.append(f"{v:.6g}".ljust(widths[k]))
+            else:
+                cells.append(str(v).ljust(widths[k]))
+        lines.append("  ".join(cells))
+    text = "\n".join(lines)
+    print("\n" + text)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{figure}.txt"), "w") as fh:
+        fh.write(text + "\n")
+    return text

@@ -1,0 +1,7 @@
+"""Benchmark-suite configuration."""
+
+import sys
+import os
+
+# Allow `from _util import emit_series` inside benchmark modules.
+sys.path.insert(0, os.path.dirname(__file__))

@@ -1,0 +1,37 @@
+"""The Section-5 applications built on KERT-BN.
+
+- :mod:`repro.apps.dcomp` — compensate for missing performance data by
+  inferring an unobservable service's elapsed-time posterior;
+- :mod:`repro.apps.paccel` — project the end-to-end impact of
+  accelerating one service before spending effort on it;
+- :mod:`repro.apps.violation` — threshold-violation probabilities and
+  the relative error ε of Eq. 5 used to judge the models in Fig. 8.
+"""
+
+from repro.apps.dcomp import DComp, DCompResult
+from repro.apps.paccel import PAccel, PAccelResult
+from repro.apps.violation import (
+    tail_probability_from_pmf,
+    relative_violation_error,
+    violation_curve,
+)
+from repro.apps.assessment import RapidAssessor
+from repro.apps.localization import ProblemLocalizer, Suspect
+from repro.apps.timeouts import timeout_count_dataset
+from repro.apps.capacity import branch_dominance, acceleration_headroom
+
+__all__ = [
+    "DComp",
+    "DCompResult",
+    "PAccel",
+    "PAccelResult",
+    "tail_probability_from_pmf",
+    "relative_violation_error",
+    "violation_curve",
+    "RapidAssessor",
+    "ProblemLocalizer",
+    "Suspect",
+    "timeout_count_dataset",
+    "branch_dominance",
+    "acceleration_headroom",
+]

@@ -1,0 +1,100 @@
+"""Timeout-request-count modeling — the other Eq.-4 metric (Section 3.3).
+
+"The CPD format given by Equation 4 … also appl[ies] to other
+transaction-oriented performance metrics such as timeout request count…
+D will stand for the count for end-to-end transactions, X will hold
+per-service sub transaction counts, and f should take the form of
+``D = Σ X_i``."
+
+Definitions used here (which make the paper's ``f`` *exact*):
+
+- a sub-transaction of service *i* **times out** when its elapsed time
+  exceeds that service's timeout threshold ``h_i``;
+- a transaction's timeout count is the number of timed-out
+  sub-transactions it contains, so per-window totals satisfy
+  ``D = Σ_i X_i`` identically;
+- monitoring reports one row per aggregation window: the per-service
+  timeout counts and the end-to-end count.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.bn.data import Dataset
+from repro.exceptions import DataError
+from repro.simulator.engine import TransactionRecord
+from repro.workflow.constructs import WorkflowNode
+from repro.workflow.timeout import timeout_count_function
+
+
+def timeout_count_dataset(
+    records: Sequence[TransactionRecord],
+    thresholds: Mapping[str, float],
+    window: int = 20,
+    response: str = "D",
+) -> Dataset:
+    """Aggregate timeout counts over fixed-size transaction windows.
+
+    Parameters
+    ----------
+    records:
+        Completed transactions.
+    thresholds:
+        Per-service timeout threshold ``h_i`` in seconds.
+    window:
+        Number of consecutive transactions per data point (count metrics
+        need aggregation to be informative).
+    """
+    if not records:
+        raise DataError("no transaction records")
+    if window < 1:
+        raise DataError(f"window must be >= 1, got {window}")
+    services = list(thresholds)
+    if response in services:
+        raise DataError(f"response column {response!r} collides with a service")
+    n_windows = len(records) // window
+    if n_windows == 0:
+        raise DataError(
+            f"{len(records)} records cannot fill a window of {window}"
+        )
+    cols = {s: np.zeros(n_windows, dtype=float) for s in services}
+    total = np.zeros(n_windows, dtype=float)
+    for w in range(n_windows):
+        for r in records[w * window:(w + 1) * window]:
+            for s in services:
+                if s in r.elapsed and r.elapsed[s] > thresholds[s]:
+                    cols[s][w] += 1
+                    total[w] += 1
+    data = dict(cols)
+    data[response] = total
+    return Dataset(data)
+
+
+def default_thresholds_from_trace(
+    records: Sequence[TransactionRecord],
+    services: Sequence[str],
+    quantile: float = 0.9,
+) -> dict[str, float]:
+    """Per-service timeout thresholds at a quantile of observed elapsed
+    times (SLAs are commonly set this way when no contract exists)."""
+    if not 0.0 < quantile < 1.0:
+        raise DataError(f"quantile must be in (0, 1), got {quantile}")
+    out = {}
+    for s in services:
+        values = np.asarray(
+            [r.elapsed[s] for r in records if s in r.elapsed], dtype=float
+        )
+        if values.size == 0:
+            raise DataError(f"no measurements for service {s!r}")
+        out[str(s)] = float(np.quantile(values, quantile))
+    return out
+
+
+def verify_count_identity(data: Dataset, workflow: WorkflowNode, response: str = "D") -> bool:
+    """Check the paper's ``D = Σ X_i`` identity on an aggregated dataset."""
+    f = timeout_count_function(workflow)
+    fx = f({s: np.asarray(data[s], dtype=float) for s in f.inputs})
+    return bool(np.allclose(fx, np.asarray(data[response], dtype=float)))

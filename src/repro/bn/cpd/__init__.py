@@ -1,0 +1,27 @@
+"""Conditional probability distributions.
+
+Four families cover everything the paper needs:
+
+- :class:`TabularCPD` — discrete ``P(X | parents)`` used by the
+  discrete Section-5 models and by NRT-BN's discrete variant.
+- :class:`LinearGaussianCPD` — continuous Gaussian CPDs, the paper's
+  choice for the simulation study (Section 4.1).
+- :class:`DeterministicCPD` — Eq. 4's workflow-given discrete CPD:
+  ``P(D = f(X) | X) = 1 - l`` with leak ``l``.
+- :class:`NoisyDeterministicCPD` — the continuous analogue
+  ``D = f(X) + N(0, σ²)``, standing in for the nonlinear deterministic
+  CPDs Matlab BNT could not represent (paper, Section 5).
+"""
+
+from repro.bn.cpd.base import CPD
+from repro.bn.cpd.tabular import TabularCPD
+from repro.bn.cpd.linear_gaussian import LinearGaussianCPD
+from repro.bn.cpd.deterministic import DeterministicCPD, NoisyDeterministicCPD
+
+__all__ = [
+    "CPD",
+    "TabularCPD",
+    "LinearGaussianCPD",
+    "DeterministicCPD",
+    "NoisyDeterministicCPD",
+]

@@ -1,0 +1,54 @@
+"""Abstract conditional probability distribution interface.
+
+Every CPD knows its child variable and ordered parent tuple and supports
+three operations used throughout the library:
+
+- ``log_likelihood(dataset)`` — vectorized per-row log-density /
+  log-mass of the child given its parents (the building block of the
+  paper's data-fitting accuracy metric ``log10 p(TestData | BN)``);
+- ``sample(parent_values, rng)`` — draw child values given parent draws
+  (forward sampling);
+- ``n_parameters`` — free-parameter count, used by BIC-style scores.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.bn.data import Dataset
+
+
+class CPD(abc.ABC):
+    """Base class for conditional probability distributions."""
+
+    def __init__(self, variable: str, parents: tuple[str, ...]):
+        self.variable = str(variable)
+        self.parents = tuple(str(p) for p in parents)
+        if self.variable in self.parents:
+            raise ValueError(f"{self.variable!r} cannot be its own parent")
+        if len(set(self.parents)) != len(self.parents):
+            raise ValueError(f"duplicate parents for {self.variable!r}")
+
+    @property
+    @abc.abstractmethod
+    def n_parameters(self) -> int:
+        """Number of free parameters (for model-complexity penalties)."""
+
+    @abc.abstractmethod
+    def log_likelihood(self, data: "Dataset") -> np.ndarray:
+        """Per-row natural-log likelihood of the child given its parents."""
+
+    @abc.abstractmethod
+    def sample(
+        self, parent_values: dict[str, np.ndarray], n: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Draw ``n`` child values; ``parent_values`` maps each parent to
+        an ``(n,)`` array of already-sampled values."""
+
+    def __repr__(self) -> str:
+        pa = ", ".join(self.parents) if self.parents else "∅"
+        return f"{type(self).__name__}({self.variable} | {pa})"

@@ -1,0 +1,151 @@
+"""Tabular (discrete) conditional probability distributions.
+
+``values`` has shape ``(card(X), card(P1), ..., card(Pk))``: axis 0 is the
+child, the remaining axes follow ``parents`` order.  Columns over axis 0
+sum to one for every parent configuration.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.bn.cpd.base import CPD
+from repro.bn.factors import DiscreteFactor
+from repro.exceptions import CPDError
+
+
+class TabularCPD(CPD):
+    """Discrete ``P(X | parents)`` stored as a normalized table."""
+
+    def __init__(
+        self,
+        variable: str,
+        cardinality: int,
+        values: np.ndarray,
+        parents: Iterable[str] = (),
+        parent_cardinalities: Iterable[int] = (),
+        atol: float = 1e-8,
+    ):
+        super().__init__(variable, tuple(parents))
+        self.cardinality = int(cardinality)
+        self.parent_cardinalities = tuple(int(c) for c in parent_cardinalities)
+        if len(self.parent_cardinalities) != len(self.parents):
+            raise CPDError(
+                f"{variable!r}: {len(self.parents)} parents but "
+                f"{len(self.parent_cardinalities)} parent cardinalities"
+            )
+        expected = (self.cardinality, *self.parent_cardinalities)
+        arr = np.asarray(values, dtype=float)
+        if arr.shape != expected:
+            try:
+                arr = arr.reshape(expected)
+            except ValueError:
+                raise CPDError(
+                    f"{variable!r}: values shape {arr.shape} != expected {expected}"
+                ) from None
+        if np.any(arr < -atol):
+            raise CPDError(f"{variable!r}: negative probabilities")
+        sums = arr.sum(axis=0)
+        if not np.allclose(sums, 1.0, atol=atol):
+            raise CPDError(
+                f"{variable!r}: columns must sum to 1 (max deviation "
+                f"{np.max(np.abs(sums - 1.0)):.3g})"
+            )
+        self.values = np.clip(arr, 0.0, None)
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n_parameters(self) -> int:
+        n_configs = int(np.prod(self.parent_cardinalities)) if self.parents else 1
+        return (self.cardinality - 1) * n_configs
+
+    def prob(self, x: int, parent_states: Mapping[str, int] = ()) -> float:
+        """``P(X = x | parents = parent_states)``."""
+        idx: list[int] = [int(x)]
+        parent_states = dict(parent_states) if parent_states else {}
+        for p, c in zip(self.parents, self.parent_cardinalities):
+            if p not in parent_states:
+                raise CPDError(f"missing parent state for {p!r}")
+            s = int(parent_states[p])
+            if not 0 <= s < c:
+                raise CPDError(f"state {s} out of range for parent {p!r}")
+            idx.append(s)
+        if not 0 <= idx[0] < self.cardinality:
+            raise CPDError(f"state {x} out of range for {self.variable!r}")
+        return float(self.values[tuple(idx)])
+
+    def log_likelihood(self, data) -> np.ndarray:
+        child = np.asarray(data[self.variable], dtype=int)
+        idx = (child,) + tuple(
+            np.asarray(data[p], dtype=int) for p in self.parents
+        )
+        probs = self.values[idx]
+        with np.errstate(divide="ignore"):
+            return np.log(probs)
+
+    def sample(self, parent_values, n: int, rng: np.random.Generator) -> np.ndarray:
+        if not self.parents:
+            return rng.choice(self.cardinality, size=n, p=self.values)
+        idx = tuple(np.asarray(parent_values[p], dtype=int) for p in self.parents)
+        # (n, card) matrix of conditional distributions, one row per sample.
+        cond = np.moveaxis(self.values, 0, -1)[idx]
+        u = rng.random(n)
+        cum = np.cumsum(cond, axis=1)
+        return (u[:, None] < cum).argmax(axis=1)
+
+    def to_factor(self) -> DiscreteFactor:
+        """View the CPD as a factor φ(X, parents...)."""
+        return DiscreteFactor(
+            (self.variable, *self.parents),
+            (self.cardinality, *self.parent_cardinalities),
+            self.values,
+        )
+
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def uniform(
+        cls,
+        variable: str,
+        cardinality: int,
+        parents: Iterable[str] = (),
+        parent_cardinalities: Iterable[int] = (),
+    ) -> "TabularCPD":
+        parents = tuple(parents)
+        parent_cards = tuple(int(c) for c in parent_cardinalities)
+        shape = (int(cardinality), *parent_cards)
+        return cls(
+            variable,
+            cardinality,
+            np.full(shape, 1.0 / cardinality),
+            parents,
+            parent_cards,
+        )
+
+    @classmethod
+    def random(
+        cls,
+        variable: str,
+        cardinality: int,
+        rng: np.random.Generator,
+        parents: Iterable[str] = (),
+        parent_cardinalities: Iterable[int] = (),
+        concentration: float = 1.0,
+    ) -> "TabularCPD":
+        """Dirichlet-random CPD (used to build synthetic discrete nets)."""
+        parents = tuple(parents)
+        parent_cards = tuple(int(c) for c in parent_cardinalities)
+        n_configs = int(np.prod(parent_cards)) if parents else 1
+        table = rng.dirichlet(
+            np.full(int(cardinality), concentration), size=n_configs
+        ).T  # (card, n_configs)
+        return cls(
+            variable,
+            cardinality,
+            table.reshape((int(cardinality), *parent_cards)),
+            parents,
+            parent_cards,
+        )

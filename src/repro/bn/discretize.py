@@ -1,0 +1,135 @@
+"""Discretization of continuous measurements.
+
+The Section-5 models are *discrete* KERT-BNs (the paper gives two
+reasons: plenty of data, and Matlab BNT's inability to express the
+nonlinear deterministic CPD).  :class:`Discretizer` turns continuous
+elapsed-time / response-time columns into bin indices, remembers the bin
+edges and centers, and can map posteriors back to original units.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.bn.data import Dataset
+from repro.exceptions import DataError
+
+
+class Discretizer:
+    """Per-column quantile or uniform binning fitted on training data."""
+
+    def __init__(self, n_bins: int = 5, strategy: str = "quantile"):
+        if n_bins < 2:
+            raise DataError(f"n_bins must be >= 2, got {n_bins}")
+        if strategy not in ("quantile", "uniform"):
+            raise DataError(f"strategy must be 'quantile' or 'uniform', got {strategy!r}")
+        self.n_bins = int(n_bins)
+        self.strategy = strategy
+        self._edges: dict[str, np.ndarray] = {}
+        self._centers: dict[str, np.ndarray] = {}
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def fitted(self) -> bool:
+        return bool(self._edges)
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        return tuple(self._edges)
+
+    def edges(self, column: str) -> np.ndarray:
+        self._check_fitted(column)
+        return self._edges[column]
+
+    def centers(self, column: str) -> np.ndarray:
+        """Representative value per bin (empirical bin means where
+        available, midpoints otherwise)."""
+        self._check_fitted(column)
+        return self._centers[column]
+
+    def cardinality(self, column: str) -> int:
+        self._check_fitted(column)
+        return self._edges[column].size - 1
+
+    def cardinalities(self) -> dict[str, int]:
+        return {c: self.cardinality(c) for c in self._edges}
+
+    def _check_fitted(self, column: str) -> None:
+        if column not in self._edges:
+            raise DataError(
+                f"discretizer not fitted for column {column!r}; "
+                f"have {list(self._edges)}"
+            )
+
+    # ------------------------------------------------------------------ #
+
+    def fit(self, data: Dataset, columns: "Iterable[str] | None" = None) -> "Discretizer":
+        """Learn bin edges (and empirical centers) from training data."""
+        for col in (columns if columns is not None else data.columns):
+            x = np.asarray(data[col], dtype=float)
+            if x.size < 2:
+                raise DataError(f"column {col!r} too small to discretize")
+            lo, hi = float(x.min()), float(x.max())
+            if self.strategy == "uniform":
+                edges = np.linspace(lo, hi, self.n_bins + 1)
+            else:
+                qs = np.linspace(0.0, 1.0, self.n_bins + 1)
+                edges = np.quantile(x, qs)
+            # Deduplicate degenerate edges (heavy ties), keep >= 2 bins by
+            # padding when the column is (nearly) constant.
+            edges = np.unique(edges)
+            if edges.size < 3:
+                span = max(hi - lo, 1.0) * 1e-6
+                edges = np.array([lo - span, (lo + hi) / 2.0, hi + span])
+            # Widen the outer edges so unseen test extremes still bin.
+            edges = edges.astype(float)
+            self._edges[col] = edges
+            idx = self._bin(x, edges)
+            centers = np.empty(edges.size - 1)
+            for b in range(edges.size - 1):
+                members = x[idx == b]
+                centers[b] = members.mean() if members.size else 0.5 * (edges[b] + edges[b + 1])
+            self._centers[col] = centers
+        return self
+
+    @staticmethod
+    def _bin(x: np.ndarray, edges: np.ndarray) -> np.ndarray:
+        idx = np.digitize(x, edges[1:-1])
+        return np.clip(idx, 0, edges.size - 2)
+
+    def transform(self, data: Dataset, columns: "Iterable[str] | None" = None) -> Dataset:
+        """Map continuous columns to bin indices (ints)."""
+        cols = list(columns) if columns is not None else list(self._edges)
+        out = {}
+        for col in cols:
+            self._check_fitted(col)
+            out[col] = self._bin(np.asarray(data[col], dtype=float), self._edges[col])
+        return Dataset(out)
+
+    def fit_transform(self, data: Dataset, columns: "Iterable[str] | None" = None) -> Dataset:
+        return self.fit(data, columns).transform(data, columns)
+
+    def inverse_value(self, column: str, state: int) -> float:
+        """Bin index → representative continuous value."""
+        centers = self.centers(column)
+        if not 0 <= state < centers.size:
+            raise DataError(f"state {state} out of range for {column!r}")
+        return float(centers[state])
+
+    def expectation(self, column: str, pmf: np.ndarray) -> float:
+        """Expected continuous value of a pmf over the column's bins."""
+        centers = self.centers(column)
+        pmf = np.asarray(pmf, dtype=float)
+        if pmf.shape != centers.shape:
+            raise DataError(
+                f"pmf length {pmf.size} != {centers.size} bins for {column!r}"
+            )
+        return float(np.dot(pmf, centers))
+
+    def state_of(self, column: str, value: float) -> int:
+        """Continuous value → bin index (clipped to the support)."""
+        self._check_fitted(column)
+        return int(self._bin(np.asarray([value], dtype=float), self._edges[column])[0])

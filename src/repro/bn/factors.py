@@ -1,0 +1,180 @@
+"""Discrete factor algebra for exact inference.
+
+A factor is a nonnegative table over a set of discrete variables.  Variable
+elimination (used by the discrete Section-5 models for dComp / pAccel
+posteriors) is expressed entirely through the product / marginalize /
+reduce operations defined here.
+
+Values are stored as an ``ndarray`` whose axes correspond to
+``self.variables`` in order; all operations are vectorized through
+broadcasting and ``einsum``-free axis manipulation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.exceptions import InferenceError
+
+
+class DiscreteFactor:
+    """A factor φ(V₁, …, V_k) over named discrete variables."""
+
+    def __init__(
+        self,
+        variables: Iterable[str],
+        cardinalities: Iterable[int],
+        values: np.ndarray,
+    ):
+        self.variables: tuple[str, ...] = tuple(variables)
+        self.cardinalities: tuple[int, ...] = tuple(int(c) for c in cardinalities)
+        if len(set(self.variables)) != len(self.variables):
+            raise InferenceError(f"duplicate variables in factor: {self.variables}")
+        if len(self.variables) != len(self.cardinalities):
+            raise InferenceError("variables and cardinalities length mismatch")
+        if any(c < 1 for c in self.cardinalities):
+            raise InferenceError("cardinalities must be >= 1")
+        arr = np.asarray(values, dtype=float)
+        if arr.shape != self.cardinalities:
+            arr = arr.reshape(self.cardinalities)
+        if np.any(arr < 0):
+            raise InferenceError("factor values must be nonnegative")
+        self.values: np.ndarray = arr
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    def cardinality(self, variable: str) -> int:
+        try:
+            return self.cardinalities[self.variables.index(variable)]
+        except ValueError:
+            raise InferenceError(f"variable {variable!r} not in factor") from None
+
+    def scope(self) -> frozenset[str]:
+        return frozenset(self.variables)
+
+    def __repr__(self) -> str:
+        return f"DiscreteFactor(variables={self.variables}, cards={self.cardinalities})"
+
+    # ------------------------------------------------------------------ #
+    # Algebra
+    # ------------------------------------------------------------------ #
+
+    def product(self, other: "DiscreteFactor") -> "DiscreteFactor":
+        """Pointwise product aligned over the union of scopes."""
+        merged: list[str] = list(self.variables)
+        cards: list[int] = list(self.cardinalities)
+        for v, c in zip(other.variables, other.cardinalities):
+            if v in merged:
+                if cards[merged.index(v)] != c:
+                    raise InferenceError(
+                        f"variable {v!r} has conflicting cardinalities"
+                    )
+            else:
+                merged.append(v)
+                cards.append(c)
+
+        def aligned(factor: "DiscreteFactor") -> np.ndarray:
+            # Expand to the merged scope: transpose the factor's axes into
+            # their merged-scope order, then insert length-1 axes for the
+            # variables it lacks so broadcasting lines everything up.
+            dst = [merged.index(v) for v in factor.variables]
+            arr = np.transpose(factor.values, axes=np.argsort(dst))
+            shape = [1] * len(merged)
+            for i, v in enumerate(factor.variables):
+                shape[dst[i]] = factor.cardinalities[i]
+            return arr.reshape(shape)
+
+        values = aligned(self) * aligned(other)
+        return DiscreteFactor(merged, cards, values)
+
+    __mul__ = product
+
+    def marginalize(self, variables: Iterable[str]) -> "DiscreteFactor":
+        """Sum out ``variables``; the remaining scope keeps its order."""
+        drop = set(variables)
+        unknown = drop - set(self.variables)
+        if unknown:
+            raise InferenceError(f"cannot marginalize unknown variables {unknown}")
+        if drop == set(self.variables):
+            raise InferenceError("cannot marginalize the entire scope")
+        axes = tuple(i for i, v in enumerate(self.variables) if v in drop)
+        keep = [(v, c) for v, c in zip(self.variables, self.cardinalities) if v not in drop]
+        values = self.values.sum(axis=axes)
+        return DiscreteFactor([v for v, _ in keep], [c for _, c in keep], values)
+
+    def reduce(self, evidence: Mapping[str, int]) -> "DiscreteFactor":
+        """Slice the factor at the observed states; evidence leaves the scope."""
+        relevant = {v: s for v, s in evidence.items() if v in self.variables}
+        if not relevant:
+            return self
+        if set(relevant) == set(self.variables):
+            raise InferenceError(
+                "reducing every variable yields a scalar; use value_at instead"
+            )
+        slicer: list = []
+        keep: list[tuple[str, int]] = []
+        for v, c in zip(self.variables, self.cardinalities):
+            if v in relevant:
+                state = int(relevant[v])
+                if not 0 <= state < c:
+                    raise InferenceError(
+                        f"state {state} out of range for {v!r} (card {c})"
+                    )
+                slicer.append(state)
+            else:
+                slicer.append(slice(None))
+                keep.append((v, c))
+        values = self.values[tuple(slicer)]
+        return DiscreteFactor([v for v, _ in keep], [c for _, c in keep], values)
+
+    def value_at(self, assignment: Mapping[str, int]) -> float:
+        """The factor value at a full assignment of its scope."""
+        idx = []
+        for v, c in zip(self.variables, self.cardinalities):
+            if v not in assignment:
+                raise InferenceError(f"assignment missing {v!r}")
+            state = int(assignment[v])
+            if not 0 <= state < c:
+                raise InferenceError(f"state {state} out of range for {v!r}")
+            idx.append(state)
+        return float(self.values[tuple(idx)])
+
+    def normalize(self) -> "DiscreteFactor":
+        """Rescale so values sum to one."""
+        total = self.values.sum()
+        if total <= 0:
+            raise InferenceError("cannot normalize a zero factor")
+        return DiscreteFactor(self.variables, self.cardinalities, self.values / total)
+
+    def permute(self, order: Iterable[str]) -> "DiscreteFactor":
+        """Reorder the scope (useful for canonical comparisons in tests)."""
+        order = list(order)
+        if set(order) != set(self.variables) or len(order) != len(self.variables):
+            raise InferenceError("permute order must be a permutation of the scope")
+        axes = [self.variables.index(v) for v in order]
+        return DiscreteFactor(
+            order,
+            [self.cardinalities[a] for a in axes],
+            np.transpose(self.values, axes),
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DiscreteFactor):
+            return NotImplemented
+        if set(self.variables) != set(other.variables):
+            return False
+        return np.allclose(other.permute(self.variables).values, self.values)
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def uniform(cls, variables: Iterable[str], cardinalities: Iterable[int]) -> "DiscreteFactor":
+        cards = [int(c) for c in cardinalities]
+        size = int(np.prod(cards))
+        return cls(variables, cards, np.full(cards, 1.0 / size))

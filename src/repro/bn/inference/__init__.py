@@ -1,0 +1,34 @@
+"""Inference algorithms.
+
+- :mod:`repro.bn.inference.gaussian` — exact joint-MVN construction and
+  conditioning for linear-Gaussian networks (dComp / pAccel posteriors in
+  the continuous setting).
+- :mod:`repro.bn.inference.variable_elimination` — exact discrete
+  inference (the discrete Section-5 models).
+- :mod:`repro.bn.inference.sampling` — forward sampling and likelihood
+  weighting for networks whose CPDs are not jointly tractable (hybrid
+  nets with the nonlinear ``max`` response CPD).
+- :mod:`repro.bn.inference.likelihood` — dataset scoring helpers.
+"""
+
+from repro.bn.inference.gaussian import (
+    joint_gaussian,
+    condition_gaussian,
+    marginal_gaussian,
+)
+from repro.bn.inference.variable_elimination import query
+from repro.bn.inference.junction_tree import JunctionTree
+from repro.bn.inference.sampling import forward_sample, likelihood_weighting
+from repro.bn.inference.likelihood import log10_likelihood, mean_log_likelihood
+
+__all__ = [
+    "joint_gaussian",
+    "condition_gaussian",
+    "marginal_gaussian",
+    "query",
+    "JunctionTree",
+    "forward_sample",
+    "likelihood_weighting",
+    "log10_likelihood",
+    "mean_log_likelihood",
+]

@@ -1,0 +1,265 @@
+"""Clique-tree (junction-tree) inference for discrete networks.
+
+Variable elimination answers one query per elimination sweep; dComp-style
+workloads ask for *every* unobservable service's posterior at once.  A
+calibrated clique tree computes all single-variable marginals in two
+message-passing sweeps over the tree, after which each query is a cheap
+clique marginalization.
+
+Construction follows the classic recipe (Lauritzen & Spiegelhalter):
+
+1. moralize the DAG and triangulate it with min-fill elimination,
+   collecting the elimination cliques;
+2. keep the maximal cliques and connect them with a maximum-weight
+   spanning tree over separator sizes (which satisfies the running-
+   intersection property for elimination-ordered cliques);
+3. multiply each CPD factor into one clique containing its family;
+4. calibrate with a collect/distribute pass of sum-product messages.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.bn.factors import DiscreteFactor
+from repro.exceptions import InferenceError
+
+
+class JunctionTree:
+    """A calibrated clique tree over a discrete Bayesian network."""
+
+    def __init__(self, network, evidence: "Mapping[str, int] | None" = None):
+        from repro.bn.inference.variable_elimination import _network_factors
+
+        self.evidence = {str(k): int(v) for k, v in (evidence or {}).items()}
+        unknown = set(self.evidence) - set(map(str, network.nodes))
+        if unknown:
+            raise InferenceError(f"evidence on unknown nodes {sorted(unknown)}")
+        cards = network.cardinalities
+        self._cards = dict(cards)
+
+        # Reduce factors by evidence; remember scalar survivors.
+        self._constant = 1.0
+        factors: list[DiscreteFactor] = []
+        for f in _network_factors(network):
+            if set(f.variables) <= set(self.evidence):
+                self._constant *= f.value_at(self.evidence)
+            else:
+                factors.append(f.reduce(self.evidence))
+        if self._constant <= 0:
+            raise InferenceError("evidence has zero probability under the model")
+
+        variables = [v for v in map(str, network.nodes) if v not in self.evidence]
+        self._cliques = _triangulate(factors, variables)
+        self._edges = _spanning_tree(self._cliques)
+        self._potentials = _assign_factors(self._cliques, factors, self._cards)
+        self._beliefs: "list[DiscreteFactor] | None" = None
+        self._calibrate()
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def cliques(self) -> tuple[frozenset, ...]:
+        return tuple(self._cliques)
+
+    @property
+    def n_cliques(self) -> int:
+        return len(self._cliques)
+
+    def _neighbors(self, i: int) -> list[int]:
+        out = []
+        for a, b in self._edges:
+            if a == i:
+                out.append(b)
+            elif b == i:
+                out.append(a)
+        return out
+
+    def _calibrate(self) -> None:
+        """Two-pass sum-product message passing over the tree."""
+        n = len(self._cliques)
+        messages: dict[tuple[int, int], DiscreteFactor] = {}
+
+        def send(src: int, dst: int) -> None:
+            product = self._potentials[src]
+            for nbr in self._neighbors(src):
+                if nbr != dst and (nbr, src) in messages:
+                    product = product.product(messages[(nbr, src)])
+            sep = self._cliques[src] & self._cliques[dst]
+            drop = set(product.variables) - sep
+            if drop == set(product.variables):
+                # Empty separator (independent components joined by a
+                # zero-weight tree edge): the message is the scalar total,
+                # carried as a constant factor over one dst variable so
+                # the product machinery needs no empty-scope special case.
+                scalar = float(product.values.sum())
+                v = next(iter(self._cliques[dst]))
+                msg = DiscreteFactor(
+                    [v], [self._cards[v]], np.full(self._cards[v], scalar)
+                )
+            elif drop:
+                msg = product.marginalize(drop)
+            else:
+                msg = product
+            messages[(src, dst)] = msg
+
+        # Collect toward clique 0, then distribute, via DFS ordering.
+        order: list[tuple[int, int]] = []  # (child, parent) pairs
+        seen = {0}
+        stack = [0]
+        parent = {0: -1}
+        topo = []
+        while stack:
+            cur = stack.pop()
+            topo.append(cur)
+            for nbr in self._neighbors(cur):
+                if nbr not in seen:
+                    seen.add(nbr)
+                    parent[nbr] = cur
+                    stack.append(nbr)
+        if len(topo) != n:
+            raise InferenceError("clique tree is disconnected")  # pragma: no cover
+        for node in reversed(topo):  # leaves first: collect
+            if parent[node] >= 0:
+                send(node, parent[node])
+        for node in topo:  # root first: distribute
+            for nbr in self._neighbors(node):
+                if parent.get(nbr) == node:
+                    send(node, nbr)
+
+        beliefs = []
+        for i in range(n):
+            b = self._potentials[i]
+            for nbr in self._neighbors(i):
+                b = b.product(messages[(nbr, i)])
+            beliefs.append(b)
+        self._beliefs = beliefs
+        if float(beliefs[0].values.sum()) * self._constant <= 0:
+            raise InferenceError("evidence has zero probability under the model")
+
+    # ------------------------------------------------------------------ #
+
+    def marginal(self, variable: str) -> DiscreteFactor:
+        """Posterior marginal ``P(variable | evidence)``."""
+        variable = str(variable)
+        if variable in self.evidence:
+            raise InferenceError(f"{variable!r} is observed")
+        assert self._beliefs is not None
+        for clique, belief in zip(self._cliques, self._beliefs):
+            if variable in clique:
+                drop = set(belief.variables) - {variable}
+                f = belief.marginalize(drop) if drop else belief
+                return f.normalize()
+        raise InferenceError(f"variable {variable!r} not in any clique")
+
+    def all_marginals(self) -> dict[str, DiscreteFactor]:
+        """Every unobserved variable's posterior from one calibration."""
+        out = {}
+        for clique in self._cliques:
+            for v in clique:
+                if v not in out:
+                    out[v] = self.marginal(v)
+        return out
+
+    def log_probability_of_evidence(self) -> float:
+        """``ln P(evidence)`` — the calibration's normalizing constant."""
+        assert self._beliefs is not None
+        total = float(self._beliefs[0].values.sum()) * self._constant
+        if total <= 0:
+            raise InferenceError("evidence has zero probability")
+        return float(np.log(total))
+
+
+# --------------------------------------------------------------------- #
+# Construction helpers
+# --------------------------------------------------------------------- #
+
+
+def _triangulate(
+    factors: list[DiscreteFactor], variables: list[str]
+) -> list[frozenset]:
+    """Min-fill elimination; returns the maximal elimination cliques."""
+    adj: dict[str, set[str]] = {v: set() for v in variables}
+    for f in factors:
+        scope = [v for v in f.variables if v in adj]
+        for a in scope:
+            adj[a] |= set(scope) - {a}
+    cliques: list[frozenset] = []
+    remaining = set(variables)
+    work = {v: set(n) for v, n in adj.items()}
+    while remaining:
+        best, best_fill = None, None
+        for v in remaining:
+            nbrs = list(work[v] & remaining)
+            fill = sum(
+                1
+                for i in range(len(nbrs))
+                for j in range(i + 1, len(nbrs))
+                if nbrs[j] not in work[nbrs[i]]
+            )
+            if best_fill is None or fill < best_fill:
+                best, best_fill = v, fill
+        nbrs = work[best] & remaining
+        clique = frozenset(nbrs | {best})
+        if not any(clique <= c for c in cliques):
+            cliques.append(clique)
+        # Connect the neighbors (fill-in) and eliminate.
+        for a in nbrs:
+            work[a] |= nbrs - {a}
+        remaining.discard(best)
+    # Drop non-maximal cliques that later ones subsume.
+    maximal = [c for c in cliques if not any(c < other for other in cliques)]
+    return maximal
+
+
+def _spanning_tree(cliques: list[frozenset]) -> list[tuple[int, int]]:
+    """Maximum-weight spanning tree over separator sizes (Prim)."""
+    n = len(cliques)
+    if n <= 1:
+        return []
+    in_tree = {0}
+    edges: list[tuple[int, int]] = []
+    while len(in_tree) < n:
+        best = None
+        best_w = -1
+        for i in in_tree:
+            for j in range(n):
+                if j in in_tree:
+                    continue
+                w = len(cliques[i] & cliques[j])
+                if w > best_w:
+                    best, best_w = (i, j), w
+        assert best is not None
+        edges.append(best)
+        in_tree.add(best[1])
+    return edges
+
+
+def _assign_factors(
+    cliques: list[frozenset],
+    factors: list[DiscreteFactor],
+    cards: Mapping[str, int],
+) -> list[DiscreteFactor]:
+    """Multiply each factor into one covering clique; seed empties with 1."""
+    potentials: list["DiscreteFactor | None"] = [None] * len(cliques)
+    for f in factors:
+        scope = set(f.variables)
+        home = next(
+            (i for i, c in enumerate(cliques) if scope <= c),
+            None,
+        )
+        if home is None:
+            raise InferenceError(
+                f"no clique covers factor scope {sorted(scope)}"
+            )  # pragma: no cover - triangulation guarantees coverage
+        potentials[home] = f if potentials[home] is None else potentials[home].product(f)
+    out = []
+    for i, p in enumerate(potentials):
+        if p is None:
+            # Identity potential over one clique variable keeps shapes sane.
+            v = next(iter(cliques[i]))
+            p = DiscreteFactor([v], [cards[v]], np.ones(cards[v]))
+        out.append(p)
+    return out

@@ -1,0 +1,32 @@
+"""Dataset-scoring helpers around the paper's accuracy metric.
+
+The paper reports *data-fitting accuracy* as ``log10 p(TestData | BN)``
+(Section 4.1).  These wrappers exist so benchmark code reads like the
+paper's text.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bn.data import Dataset
+
+
+def log10_likelihood(network, data: Dataset) -> float:
+    """``log10 p(data | network)`` — the Figure 3/4 accuracy metric."""
+    return network.log10_likelihood(data)
+
+
+def mean_log_likelihood(network, data: Dataset) -> float:
+    """Per-row natural-log likelihood; size-independent model comparison."""
+    return float(network.per_row_log_likelihood(data).mean())
+
+
+def holdout_score(network, train: Dataset, test: Dataset) -> dict:
+    """Train/test scoring summary used by EXPERIMENTS.md tables."""
+    return {
+        "train_log10": network.log10_likelihood(train),
+        "test_log10": network.log10_likelihood(test),
+        "test_mean_ll": mean_log_likelihood(network, test),
+        "n_parameters": network.n_parameters,
+    }

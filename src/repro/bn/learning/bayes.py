@@ -1,0 +1,88 @@
+"""Bayesian (conjugate) linear-Gaussian parameter learning.
+
+The paper's fast-reconstruction regime hands the learner 36 data points;
+plain least squares is noisy there.  The standard conjugate treatment —
+a Normal-Inverse-Gamma prior over (coefficients, variance) — yields a
+posterior-mean CPD with ridge-style shrinkage toward zero coefficients
+and a tempered variance estimate, at the same O(N·p²) cost.  It is the
+"Bayesian method" alternative the paper's Section 3.4 mentions next to
+maximum likelihood (reference [14]).
+
+With ``prior_strength → 0`` the fit reduces to MLE; tests assert both
+the limit and the small-sample robustness gain.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.bn.cpd.linear_gaussian import LinearGaussianCPD
+from repro.bn.dag import DAG
+from repro.bn.data import Dataset
+from repro.bn.network import GaussianBayesianNetwork
+from repro.exceptions import LearningError
+
+
+def fit_linear_gaussian_bayes(
+    data: Dataset,
+    variable: str,
+    parents: Iterable[str] = (),
+    prior_strength: float = 1.0,
+    prior_a: float = 2.0,
+    prior_b: float = 0.1,
+    min_variance: float = 1e-9,
+) -> LinearGaussianCPD:
+    """Posterior-mean linear-Gaussian CPD under a NIG prior.
+
+    Prior: ``w ~ N(0, σ²/λ I)`` (``λ = prior_strength``; the intercept is
+    left effectively unpenalized), ``σ² ~ InvGamma(a, b)``.
+
+    Posterior means: ``w* = (XᵀX + λI')⁻¹ Xᵀy`` and
+    ``σ²* = (b + RSS*/2 + shrinkage/2) / (a + n/2 − 1)``.
+    """
+    parents = tuple(parents)
+    if prior_strength < 0:
+        raise LearningError("prior_strength must be >= 0")
+    if prior_a <= 1.0 or prior_b <= 0:
+        raise LearningError("need prior_a > 1 and prior_b > 0")
+    y = np.asarray(data[variable], dtype=float)
+    n = y.size
+    if n == 0:
+        raise LearningError(f"no rows to fit {variable!r}")
+    X = np.column_stack(
+        [np.ones(n)] + [np.asarray(data[p], dtype=float) for p in parents]
+    )
+    p = X.shape[1]
+    penalty = np.eye(p) * prior_strength
+    penalty[0, 0] = 1e-8  # do not shrink the intercept
+    gram = X.T @ X + penalty
+    w = np.linalg.solve(gram, X.T @ y)
+    resid = y - X @ w
+    rss = float(resid @ resid)
+    shrink = float(w @ penalty @ w)
+    a_post = prior_a + 0.5 * n
+    b_post = prior_b + 0.5 * (rss + shrink)
+    var = max(float(b_post / (a_post - 1.0)), min_variance)
+    return LinearGaussianCPD(variable, float(w[0]), w[1:], var, parents)
+
+
+def fit_gaussian_network_bayes(
+    dag: DAG,
+    data: Dataset,
+    prior_strength: float = 1.0,
+    **kwargs,
+) -> GaussianBayesianNetwork:
+    """Bayesian fit of every node in ``dag``."""
+    cpds = [
+        fit_linear_gaussian_bayes(
+            data,
+            str(node),
+            tuple(map(str, dag.parents(node))),
+            prior_strength=prior_strength,
+            **kwargs,
+        )
+        for node in dag.nodes
+    ]
+    return GaussianBayesianNetwork(dag, cpds)

@@ -1,0 +1,180 @@
+"""Expectation–maximization for Gaussian networks with missing data.
+
+Section 5.1 mentions "full blown fill-in methods (like Expectation
+Maximization)" as the heavyweight alternative dComp avoids.  This module
+implements that alternative so the comparison is runnable: given a
+dataset whose missing entries are ``NaN``, EM alternates
+
+- **E-step** — for each distinct missingness pattern, condition the
+  current joint Gaussian on the observed coordinates and accumulate the
+  expected first and second moments of the missing ones;
+- **M-step** — refit every linear-Gaussian CPD from the expected moment
+  matrices (regression on second moments instead of raw rows).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.bn.cpd.linear_gaussian import LinearGaussianCPD
+from repro.bn.dag import DAG
+from repro.bn.data import Dataset
+from repro.bn.network import GaussianBayesianNetwork
+from repro.bn.inference.gaussian import joint_gaussian
+from repro.bn.learning.mle import fit_gaussian_network
+from repro.exceptions import LearningError
+
+
+def _expected_moments(
+    network: GaussianBayesianNetwork, array: np.ndarray, names: list[str]
+) -> tuple[np.ndarray, np.ndarray, float]:
+    """E-step: expected Σx and Σxxᵀ under the current model.
+
+    Rows are grouped by missingness pattern so each pattern pays one
+    Gaussian conditioning, not one per row.
+    """
+    order, mean, cov = joint_gaussian(network)
+    perm = [names.index(v) for v in order]
+    data = array[:, perm]  # columns now follow the joint's variable order
+    n, k = data.shape
+    m1 = np.zeros(k)
+    m2 = np.zeros((k, k))
+    miss = np.isnan(data)
+    patterns = {}
+    for row, pattern in enumerate(map(tuple, miss)):
+        patterns.setdefault(pattern, []).append(row)
+    for pattern, rows in patterns.items():
+        rows = np.asarray(rows)
+        missing = np.flatnonzero(pattern)
+        observed = np.flatnonzero(~np.asarray(pattern))
+        obs_vals = data[np.ix_(rows, observed)]
+        if missing.size == 0:
+            m1[observed] += obs_vals.sum(axis=0)
+            m2[np.ix_(observed, observed)] += obs_vals.T @ obs_vals
+            continue
+        if observed.size == 0:
+            # Fully missing rows contribute the prior moments.
+            m1 += rows.size * mean
+            m2 += rows.size * (cov + np.outer(mean, mean))
+            continue
+        s_oo = cov[np.ix_(observed, observed)] + 1e-12 * np.eye(observed.size)
+        s_mo = cov[np.ix_(missing, observed)]
+        gain = np.linalg.solve(s_oo, s_mo.T).T  # (n_miss, n_obs)
+        resid = obs_vals - mean[observed]
+        mu_m = mean[missing] + resid @ gain.T  # (rows, n_miss)
+        sig_m = cov[np.ix_(missing, missing)] - gain @ s_mo.T
+        sig_m = 0.5 * (sig_m + sig_m.T)
+        # First moments.
+        m1[observed] += obs_vals.sum(axis=0)
+        m1[missing] += mu_m.sum(axis=0)
+        # Second moments.
+        m2[np.ix_(observed, observed)] += obs_vals.T @ obs_vals
+        m2[np.ix_(missing, observed)] += mu_m.T @ obs_vals
+        m2[np.ix_(observed, missing)] += obs_vals.T @ mu_m
+        m2[np.ix_(missing, missing)] += mu_m.T @ mu_m + rows.size * sig_m
+    # Return moments in the caller's (names) order.
+    inv = np.argsort(perm)
+    return m1[inv], m2[np.ix_(inv, inv)], float(n)
+
+
+def _refit_from_moments(
+    dag: DAG, names: list[str], m1: np.ndarray, m2: np.ndarray, n: float,
+    min_variance: float = 1e-9,
+) -> GaussianBayesianNetwork:
+    """M-step: per-node regression from expected moments."""
+    index = {v: i for i, v in enumerate(names)}
+    mean = m1 / n
+    second = m2 / n
+    cov = second - np.outer(mean, mean)
+    cpds = []
+    for node in dag.nodes:
+        node = str(node)
+        parents = tuple(map(str, dag.parents(node)))
+        i = index[node]
+        if not parents:
+            cpds.append(
+                LinearGaussianCPD(node, float(mean[i]), (), max(float(cov[i, i]), min_variance), ())
+            )
+            continue
+        pa = [index[p] for p in parents]
+        s_pp = cov[np.ix_(pa, pa)] + 1e-10 * np.eye(len(pa))
+        s_px = cov[pa, i]
+        w = np.linalg.solve(s_pp, s_px)
+        b0 = float(mean[i] - w @ mean[pa])
+        var = float(cov[i, i] - w @ s_px)
+        cpds.append(LinearGaussianCPD(node, b0, w, max(var, min_variance), parents))
+    return GaussianBayesianNetwork(dag, cpds)
+
+
+def em_gaussian(
+    dag: DAG,
+    data: Dataset,
+    max_iter: int = 50,
+    tol: float = 1e-6,
+    min_variance: float = 1e-9,
+) -> tuple[GaussianBayesianNetwork, list[float]]:
+    """Fit a Gaussian network from incomplete data (NaN = missing).
+
+    Returns the fitted network and the per-iteration observed-data
+    log-likelihood trace (monotone non-decreasing up to numerics —
+    asserted by the property tests).
+    """
+    names = [str(v) for v in data.columns]
+    array = data.to_array(names)
+    if not np.isnan(array).any():
+        return fit_gaussian_network(dag, data, min_variance=min_variance), []
+    if np.isnan(array).all(axis=0).any():
+        raise LearningError("a column is entirely missing; EM cannot identify it")
+
+    # Initialize by mean-imputation MLE.
+    filled = array.copy()
+    col_means = np.nanmean(array, axis=0)
+    bad = np.isnan(filled)
+    filled[bad] = np.take(col_means, np.nonzero(bad)[1])
+    network = fit_gaussian_network(dag, Dataset.from_array(filled, names),
+                                   min_variance=min_variance)
+
+    trace: list[float] = []
+    for _ in range(max_iter):
+        m1, m2, n = _expected_moments(network, array, names)
+        network = _refit_from_moments(dag, names, m1, m2, n, min_variance=min_variance)
+        ll = _observed_log_likelihood(network, array, names)
+        if trace and abs(ll - trace[-1]) < tol * max(1.0, abs(trace[-1])):
+            trace.append(ll)
+            break
+        trace.append(ll)
+    return network, trace
+
+
+def _observed_log_likelihood(
+    network: GaussianBayesianNetwork, array: np.ndarray, names: list[str]
+) -> float:
+    """Marginal log-likelihood of the observed entries only."""
+    order, mean, cov = joint_gaussian(network)
+    perm = [names.index(v) for v in order]
+    data = array[:, perm]
+    miss = np.isnan(data)
+    total = 0.0
+    patterns: dict[tuple, list[int]] = {}
+    for row, pattern in enumerate(map(tuple, miss)):
+        patterns.setdefault(pattern, []).append(row)
+    for pattern, rows in patterns.items():
+        observed = np.flatnonzero(~np.asarray(pattern))
+        if observed.size == 0:
+            continue
+        sub_mean = mean[observed]
+        sub_cov = cov[np.ix_(observed, observed)] + 1e-12 * np.eye(observed.size)
+        vals = data[np.ix_(np.asarray(rows), observed)]
+        resid = vals - sub_mean
+        sign, logdet = np.linalg.slogdet(sub_cov)
+        if sign <= 0:
+            raise LearningError("covariance became non-PD during EM")
+        solve = np.linalg.solve(sub_cov, resid.T)
+        quad = np.einsum("ij,ji->i", resid, solve)
+        total += float(
+            -0.5 * (observed.size * math.log(2 * math.pi) + logdet) * len(rows)
+            - 0.5 * quad.sum()
+        )
+    return total

@@ -1,0 +1,98 @@
+"""Structure-comparison metrics.
+
+KERT-BN's pitch is that the workflow already *is* the right structure;
+these metrics quantify how close a learned (NRT-BN) structure gets to
+that reference, and at what data cost:
+
+- **skeleton precision/recall/F1** — undirected edge agreement;
+- **directed precision/recall** — edge agreement including orientation;
+- **SHD** (structural Hamming distance) — additions + deletions +
+  reorientations needed to turn one DAG into the other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bn.dag import DAG
+from repro.exceptions import GraphError
+
+
+@dataclass(frozen=True)
+class StructureComparison:
+    """Edge-level agreement between a learned DAG and a reference DAG."""
+
+    n_reference_edges: int
+    n_learned_edges: int
+    skeleton_tp: int
+    directed_tp: int
+    shd: int
+
+    @property
+    def skeleton_precision(self) -> float:
+        return self.skeleton_tp / self.n_learned_edges if self.n_learned_edges else 1.0
+
+    @property
+    def skeleton_recall(self) -> float:
+        return self.skeleton_tp / self.n_reference_edges if self.n_reference_edges else 1.0
+
+    @property
+    def skeleton_f1(self) -> float:
+        p, r = self.skeleton_precision, self.skeleton_recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+    @property
+    def directed_precision(self) -> float:
+        return self.directed_tp / self.n_learned_edges if self.n_learned_edges else 1.0
+
+    @property
+    def directed_recall(self) -> float:
+        return self.directed_tp / self.n_reference_edges if self.n_reference_edges else 1.0
+
+    def row(self) -> dict:
+        return {
+            "skeleton_f1": self.skeleton_f1,
+            "skeleton_precision": self.skeleton_precision,
+            "skeleton_recall": self.skeleton_recall,
+            "directed_recall": self.directed_recall,
+            "shd": self.shd,
+        }
+
+
+def compare_structures(learned: DAG, reference: DAG) -> StructureComparison:
+    """Compare two DAGs over the same node set."""
+    if set(map(str, learned.nodes)) != set(map(str, reference.nodes)):
+        raise GraphError("structures must share the same node set")
+    learned_dir = {(str(u), str(v)) for u, v in learned.edges}
+    ref_dir = {(str(u), str(v)) for u, v in reference.edges}
+    learned_skel = {frozenset(e) for e in learned_dir}
+    ref_skel = {frozenset(e) for e in ref_dir}
+
+    skeleton_tp = len(learned_skel & ref_skel)
+    directed_tp = len(learned_dir & ref_dir)
+
+    # SHD: missing skeleton edges + extra skeleton edges + shared-skeleton
+    # edges with the wrong orientation.
+    missing = len(ref_skel - learned_skel)
+    extra = len(learned_skel - ref_skel)
+    misoriented = skeleton_tp - len(
+        {e for e in learned_dir if e in ref_dir}
+    )
+    shd = missing + extra + misoriented
+
+    return StructureComparison(
+        n_reference_edges=len(ref_dir),
+        n_learned_edges=len(learned_dir),
+        skeleton_tp=skeleton_tp,
+        directed_tp=directed_tp,
+        shd=shd,
+    )
+
+
+def knowledge_recovery(learned: DAG, workflow, response: str = "D") -> StructureComparison:
+    """Compare a learned structure against the workflow-derived KERT-BN
+    structure (the 'ground truth' domain knowledge provides for free)."""
+    from repro.workflow.structure import kert_bn_structure
+
+    reference = kert_bn_structure(workflow, response=response)
+    return compare_structures(learned, reference)

@@ -1,0 +1,284 @@
+"""Command-line toolchain.
+
+The paper promises "an implementation … deliver[ed] to operate under a
+flexible model (re)construction scheme [that] can be integrated into
+autonomic solutions with minimal effort".  The CLI is that integration
+surface: workflows come in as JSON, monitoring windows as CSV, models go
+out as JSON bundles, and assessments print machine-parseable lines.
+
+Subcommands
+-----------
+- ``inspect-workflow`` — derive and print ``f`` and the KERT-BN structure.
+- ``simulate``         — generate a monitored dataset from a scenario.
+- ``build``            — build a KERT-BN or NRT-BN from workflow + data.
+- ``score``            — test log10-likelihood of a saved model.
+- ``assess``           — response-time assessment / violation probability.
+- ``dcomp``            — posterior of an unobservable service.
+
+Example
+-------
+::
+
+    repro simulate --scenario ediamond --points 600 --seed 7 \
+        --out train.csv --workflow-out wf.json
+    repro build --family kert --kind continuous \
+        --workflow wf.json --data train.csv --out model.json
+    repro assess --model model.json --threshold 2.0
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import ReproError
+
+
+def _parse_assignments(pairs: "Sequence[str] | None") -> dict[str, float]:
+    out: dict[str, float] = {}
+    for pair in pairs or ():
+        if "=" not in pair:
+            raise SystemExit(f"expected NAME=VALUE, got {pair!r}")
+        name, value = pair.split("=", 1)
+        try:
+            out[name.strip()] = float(value)
+        except ValueError:
+            raise SystemExit(f"value for {name!r} is not a number: {value!r}")
+    return out
+
+
+# --------------------------------------------------------------------- #
+# Subcommand implementations
+# --------------------------------------------------------------------- #
+
+
+def cmd_inspect_workflow(args: argparse.Namespace) -> int:
+    from repro.workflow.parser import workflow_from_json
+    from repro.workflow.response_time import response_time_function
+    from repro.workflow.structure import kert_bn_structure, workflow_edges
+
+    from repro.workflow.visualize import render_structure_summary, render_workflow
+
+    with open(args.workflow) as fh:
+        wf = workflow_from_json(fh.read())
+    f = response_time_function(wf)
+    dag = kert_bn_structure(wf, response=args.response)
+    print(f"services ({wf.n_services()}): {', '.join(wf.services())}")
+    print(f"f: {args.response} = {f.to_string()}")
+    print(render_workflow(wf))
+    print("workflow edges:")
+    for u, v in workflow_edges(wf):
+        print(f"  {u} -> {v}")
+    print(f"KERT-BN structure: {render_structure_summary(dag, args.response)}")
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.bn.csvio import dataset_to_csv
+    from repro.simulator.scenarios.ediamond import ediamond_scenario
+    from repro.simulator.scenarios.random_env import random_environment
+    from repro.workflow.parser import workflow_to_json
+
+    if args.scenario == "ediamond":
+        env = ediamond_scenario()
+    else:
+        env = random_environment(args.n_services, rng=args.seed)
+    data = env.simulate(args.points, rng=args.seed + 1)
+    dataset_to_csv(data, args.out)
+    print(f"wrote {data.n_rows} points x {len(data.columns)} columns to {args.out}")
+    if args.workflow_out:
+        with open(args.workflow_out, "w") as fh:
+            fh.write(workflow_to_json(env.workflow, indent=2))
+        print(f"wrote workflow to {args.workflow_out}")
+    return 0
+
+
+def cmd_build(args: argparse.Namespace) -> int:
+    from repro.bn.csvio import dataset_from_csv
+    from repro.core.kertbn import build_continuous_kertbn, build_discrete_kertbn
+    from repro.core.nrtbn import build_continuous_nrtbn, build_discrete_nrtbn
+    from repro.core.persistence import save_model
+    from repro.workflow.parser import workflow_from_json
+
+    if args.family == "kert" and not args.workflow:
+        raise SystemExit("--workflow is required for --family kert")
+    data = dataset_from_csv(args.data)
+    if args.family == "kert":
+        with open(args.workflow) as fh:
+            wf = workflow_from_json(fh.read())
+        if args.kind == "continuous":
+            model = build_continuous_kertbn(wf, data, response=args.response)
+        else:
+            model = build_discrete_kertbn(
+                wf, data, response=args.response, n_bins=args.bins
+            )
+    else:
+        if args.kind == "continuous":
+            model = build_continuous_nrtbn(
+                data, response=args.response, rng=args.seed,
+                n_restarts=args.restarts,
+            )
+        else:
+            model = build_discrete_nrtbn(
+                data, response=args.response, rng=args.seed,
+                n_bins=args.bins, n_restarts=args.restarts,
+            )
+    save_model(model, args.out)
+    rep = model.report
+    print(f"model: {rep.model_kind}")
+    print(f"nodes={rep.n_nodes} edges={rep.n_edges} parameters={rep.n_parameters}")
+    print(f"construction_seconds={rep.construction_seconds:.6f} "
+          f"(structure={rep.structure_seconds:.6f}, "
+          f"parameters={rep.parameter_seconds:.6f})")
+    print(f"saved to {args.out}")
+    return 0
+
+
+def cmd_score(args: argparse.Namespace) -> int:
+    from repro.bn.csvio import dataset_from_csv
+    from repro.core.persistence import load_model
+
+    model = load_model(args.model)
+    data = dataset_from_csv(args.data)
+    print(f"log10_likelihood={model.log10_likelihood(data):.4f} "
+          f"n_rows={data.n_rows}")
+    return 0
+
+
+def cmd_assess(args: argparse.Namespace) -> int:
+    from repro.apps.paccel import PAccel
+    from repro.core.persistence import load_model
+
+    evidence = _parse_assignments(args.set)
+    model = load_model(args.model)
+    pa = PAccel(model)
+    result = pa.project(evidence, rng=args.seed) if evidence else pa.baseline(
+        rng=args.seed
+    )
+    print(f"E[D]={result.mean:.4f} sd={result.std:.4f}")
+    for h in args.threshold or ():
+        print(f"P(D>{h:g})={result.violation_probability(h):.4f}")
+    return 0
+
+
+def cmd_dcomp(args: argparse.Namespace) -> int:
+    from repro.apps.dcomp import DComp
+    from repro.core.persistence import load_model
+
+    model = load_model(args.model)
+    observed = _parse_assignments(args.observe)
+    if not observed:
+        raise SystemExit("dcomp needs at least one --observe NAME=VALUE")
+    result = DComp(model).posterior(args.target, observed, rng=args.seed)
+    print(f"prior:     mean={result.prior_mean:.4f} sd={result.prior_std:.4f}")
+    print(f"posterior: mean={result.posterior_mean:.4f} sd={result.posterior_std:.4f}")
+    return 0
+
+
+def cmd_localize(args: argparse.Namespace) -> int:
+    from repro.apps.localization import ProblemLocalizer
+    from repro.core.persistence import load_model
+
+    observed = _parse_assignments(args.observe)
+    if not observed:
+        raise SystemExit("localize needs at least one --observe NAME=VALUE")
+    model = load_model(args.model)
+    suspects = ProblemLocalizer(model).localize(observed, top=args.top)
+    print(f"{'rank':>4s} {'service':>10s} {'z':>7s} {'D_shift':>9s} {'blame':>9s}")
+    for rank, s in enumerate(suspects, start=1):
+        print(
+            f"{rank:4d} {s.service:>10s} {s.z_score:7.2f} "
+            f"{s.projected_d_shift:9.3f} {s.blame:9.4f}"
+        )
+    return 0
+
+
+# --------------------------------------------------------------------- #
+# Parser wiring
+# --------------------------------------------------------------------- #
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="KERT-BN performance-modeling toolchain (IPDPS 2007 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("inspect-workflow", help="derive f and structure")
+    p.add_argument("workflow", help="workflow JSON file")
+    p.add_argument("--response", default="D")
+    p.set_defaults(fn=cmd_inspect_workflow)
+
+    p = sub.add_parser("simulate", help="generate a monitored dataset")
+    p.add_argument("--scenario", choices=("ediamond", "random"), default="ediamond")
+    p.add_argument("--n-services", type=int, default=30)
+    p.add_argument("--points", type=int, default=600)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", required=True, help="output CSV path")
+    p.add_argument("--workflow-out", help="also write the workflow JSON here")
+    p.set_defaults(fn=cmd_simulate)
+
+    p = sub.add_parser("build", help="build a model from workflow + data")
+    p.add_argument("--family", choices=("kert", "nrt"), required=True)
+    p.add_argument("--kind", choices=("continuous", "discrete"), default="continuous")
+    p.add_argument("--workflow", help="workflow JSON (required for kert)")
+    p.add_argument("--data", required=True, help="training CSV")
+    p.add_argument("--out", required=True, help="output model JSON")
+    p.add_argument("--response", default="D")
+    p.add_argument("--bins", type=int, default=5)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--restarts", type=int, default=None,
+                   help="K2 random restarts (nrt only)")
+    p.set_defaults(fn=cmd_build)
+
+    p = sub.add_parser("score", help="log10-likelihood of a model on data")
+    p.add_argument("--model", required=True)
+    p.add_argument("--data", required=True)
+    p.set_defaults(fn=cmd_score)
+
+    p = sub.add_parser("assess", help="response-time assessment (pAccel)")
+    p.add_argument("--model", required=True)
+    p.add_argument("--set", action="append", metavar="NAME=VALUE",
+                   help="predicted service mean(s)")
+    p.add_argument("--threshold", action="append", type=float,
+                   help="print P(D > threshold); repeatable")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=cmd_assess)
+
+    p = sub.add_parser("localize", help="rank services by blame for a slowdown")
+    p.add_argument("--model", required=True,
+                   help="a continuous KERT-BN bundle (the healthy reference)")
+    p.add_argument("--observe", action="append", metavar="NAME=VALUE",
+                   help="current mean elapsed time per observable service")
+    p.add_argument("--top", type=int, default=None)
+    p.set_defaults(fn=cmd_localize)
+
+    p = sub.add_parser("dcomp", help="posterior of an unobservable service")
+    p.add_argument("--model", required=True)
+    p.add_argument("--target", required=True)
+    p.add_argument("--observe", action="append", metavar="NAME=VALUE")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=cmd_dcomp)
+
+    return parser
+
+
+def main(argv: "Sequence[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,191 @@
+"""A minimal autonomic manager closing the paper's loop.
+
+The paper positions KERT-BN as the model that "autonomous management
+software … requires" for "resource provisioning, load balancing, and
+performance problem localization and remediation".  This module wires
+the pieces of this library into that loop, MAPE-K style:
+
+- **Monitor** — pull a window of monitored data from the environment;
+- **Analyze** — rebuild the KERT-BN (Eqs. 1–2 schedule) and assess the
+  SLA-violation probability with the rapid analytic assessor;
+- **Plan** — when the violation probability exceeds the policy bound,
+  localize the most-blamed service and project candidate accelerations
+  with pAccel to pick the cheapest sufficient one;
+- **Execute** — apply the chosen speedup to the (simulated) environment.
+
+The manager is deliberately simple — it demonstrates integration, not a
+new control algorithm — but every decision it takes is driven by the
+paper's machinery and is fully inspectable via :class:`CycleReport`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.apps.assessment import RapidAssessor
+from repro.apps.localization import ProblemLocalizer
+from repro.core.kertbn import KERTBN, build_continuous_kertbn
+from repro.exceptions import ReproError
+from repro.simulator.delays import Scaled
+from repro.simulator.environment import SimulatedEnvironment
+from repro.simulator.service import ServiceSpec
+from repro.utils.rng import ensure_rng
+
+
+@dataclass(frozen=True)
+class SLAPolicy:
+    """The service-level objective the manager defends."""
+
+    threshold: float          # response-time bound (seconds)
+    max_violation_prob: float  # tolerated P(D > threshold)
+    candidate_speedups: tuple = (0.9, 0.75, 0.5)
+
+    def __post_init__(self) -> None:
+        if not self.threshold > 0:
+            raise ReproError("SLA threshold must be > 0")
+        if not 0.0 < self.max_violation_prob < 1.0:
+            raise ReproError("max_violation_prob must be in (0, 1)")
+        if not self.candidate_speedups or any(
+            not 0 < s < 1 for s in self.candidate_speedups
+        ):
+            raise ReproError("candidate speedups must lie in (0, 1)")
+
+
+@dataclass
+class CycleReport:
+    """Everything one manage cycle observed and decided."""
+
+    cycle: int
+    violation_prob: float
+    expected_response: float
+    action: "tuple[str, float] | None" = None
+    projected_violation_prob: "float | None" = None
+    suspects: list = field(default_factory=list)
+    model: "KERTBN | None" = None
+
+    @property
+    def acted(self) -> bool:
+        return self.action is not None
+
+
+class AutonomicManager:
+    """Monitor → analyze → plan → execute over a simulated environment."""
+
+    def __init__(
+        self,
+        environment: SimulatedEnvironment,
+        policy: SLAPolicy,
+        window_points: int = 300,
+        rng=None,
+    ):
+        if window_points < 10:
+            raise ReproError("window_points must be >= 10")
+        self.env = environment
+        self.policy = policy
+        self.window_points = int(window_points)
+        self.rng = ensure_rng(rng)
+        self.history: list[CycleReport] = []
+        # Localization compares *current* observations against the last
+        # model built while the SLA held — a freshly rebuilt model already
+        # reflects the fault and would show nothing anomalous.
+        self._reference_model: "KERTBN | None" = None
+
+    # ------------------------------------------------------------------ #
+
+    def run_cycle(self) -> CycleReport:
+        """Execute one full MAPE cycle; mutates the environment if acting."""
+        cycle = len(self.history)
+        # Monitor: fresh window from the live environment.
+        data = self.env.simulate(self.window_points, rng=self.rng)
+        # Analyze: rebuild the model (reconstruction, not update) + assess.
+        model = build_continuous_kertbn(self.env.workflow, data)
+        assessor = RapidAssessor(model)
+        expected, _ = assessor.assess()
+        p_violation = assessor.violation_probability(self.policy.threshold)
+        report = CycleReport(
+            cycle=cycle,
+            violation_prob=p_violation,
+            expected_response=expected,
+            model=model,
+        )
+        if p_violation > self.policy.max_violation_prob:
+            # Plan: blame ranking against the last healthy model, then the
+            # *mildest* sufficient speedup.
+            localizer = ProblemLocalizer(self._reference_model or model)
+            observed = {
+                s: float(np.mean(data[s])) for s in self.env.service_names
+            }
+            suspects = localizer.localize(observed)
+            report.suspects = [s.row() for s in suspects[:3]]
+            target = suspects[0].service
+            chosen = None
+            for speedup in sorted(self.policy.candidate_speedups, reverse=True):
+                current_mean = float(np.mean(data[target]))
+                projected = assessor.violation_probability(
+                    self.policy.threshold, {target: speedup * current_mean}
+                )
+                if projected <= self.policy.max_violation_prob:
+                    chosen = (speedup, projected)
+                    break
+            if chosen is None:
+                # Even the strongest candidate is insufficient; take it
+                # anyway (best effort) and record the residual risk.
+                speedup = min(self.policy.candidate_speedups)
+                projected = assessor.violation_probability(
+                    self.policy.threshold,
+                    {target: speedup * float(np.mean(data[target]))},
+                )
+                chosen = (speedup, projected)
+            # Execute: apply the resource action to the environment.
+            self._apply_speedup(target, chosen[0])
+            report.action = (target, chosen[0])
+            report.projected_violation_prob = chosen[1]
+        else:
+            self._reference_model = model
+        self.history.append(report)
+        return report
+
+    def run(self, n_cycles: int) -> list[CycleReport]:
+        if n_cycles < 1:
+            raise ReproError("need >= 1 cycle")
+        return [self.run_cycle() for _ in range(n_cycles)]
+
+    # ------------------------------------------------------------------ #
+
+    def _apply_speedup(self, service: str, factor: float) -> None:
+        """Scale one service's delay distribution in place (the simulated
+        equivalent of a resource-allocation action)."""
+        new_specs = []
+        found = False
+        for spec in self.env.services:
+            if spec.name == service:
+                found = True
+                new_specs.append(
+                    ServiceSpec(
+                        spec.name,
+                        Scaled(spec.delay, factor),
+                        host=spec.host,
+                        demand_sensitivity=spec.demand_sensitivity,
+                        upstream_coupling=spec.upstream_coupling,
+                        queueing=spec.queueing,
+                    )
+                )
+            else:
+                new_specs.append(spec)
+        if not found:
+            raise ReproError(f"unknown service {service!r}")
+        self.env.services = tuple(new_specs)
+
+
+def inject_degradation(
+    environment: SimulatedEnvironment, service: str, factor: float
+) -> None:
+    """Test/demo helper: degrade one service in place (factor > 1)."""
+    if factor <= 0:
+        raise ReproError("factor must be > 0")
+    manager_like = AutonomicManager.__new__(AutonomicManager)
+    manager_like.env = environment
+    AutonomicManager._apply_speedup(manager_like, service, factor)

@@ -1,0 +1,122 @@
+"""Whole-model persistence: KERT-BN / NRT-BN bundles.
+
+A *bundle* is everything an autonomic component needs to use a built
+model later or elsewhere: the network (with its Eq.-4 expression), the
+response-node name, the discretizer (for discrete models), and the
+construction report.  Bundles are plain JSON.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+import numpy as np
+
+from repro.bn.discretize import Discretizer
+from repro.bn.io import network_from_dict, network_to_dict
+from repro.core.kertbn import KERTBN
+from repro.core.metrics import BuildReport
+from repro.core.nrtbn import NRTBN
+from repro.exceptions import DataError
+from repro.workflow.response_time import ResponseTimeFunction
+
+
+def discretizer_to_dict(disc: Discretizer) -> dict:
+    return {
+        "n_bins": disc.n_bins,
+        "strategy": disc.strategy,
+        "edges": {c: disc.edges(c).tolist() for c in disc.columns},
+        "centers": {c: disc.centers(c).tolist() for c in disc.columns},
+    }
+
+
+def discretizer_from_dict(spec: dict) -> Discretizer:
+    disc = Discretizer(n_bins=spec["n_bins"], strategy=spec["strategy"])
+    disc._edges = {c: np.asarray(v, dtype=float) for c, v in spec["edges"].items()}
+    disc._centers = {c: np.asarray(v, dtype=float) for c, v in spec["centers"].items()}
+    return disc
+
+
+def _report_to_dict(report: BuildReport) -> dict:
+    return {
+        "model_kind": report.model_kind,
+        "structure_seconds": report.structure_seconds,
+        "parameter_seconds": report.parameter_seconds,
+        "per_cpd_seconds": dict(report.per_cpd_seconds),
+        "n_nodes": report.n_nodes,
+        "n_edges": report.n_edges,
+        "n_parameters": report.n_parameters,
+        "n_training_rows": report.n_training_rows,
+        "extra": dict(report.extra),
+    }
+
+
+def _report_from_dict(spec: dict) -> BuildReport:
+    return BuildReport(**spec)
+
+
+def model_to_dict(model: "KERTBN | NRTBN") -> dict:
+    """Serialize a built model (either family) to a JSON-compatible dict."""
+    out: dict[str, Any] = {
+        "family": "kertbn" if isinstance(model, KERTBN) else "nrtbn",
+        "response": model.response,
+        "network": network_to_dict(model.network),
+        "report": _report_to_dict(model.report),
+    }
+    if model.discretizer is not None:
+        out["discretizer"] = discretizer_to_dict(model.discretizer)
+    if isinstance(model, KERTBN):
+        out["f"] = model.f.to_string()
+        from repro.bn.io import expression_to_dict
+
+        out["f_expression"] = expression_to_dict(model.f.expression)
+    return out
+
+
+def model_from_dict(spec: dict) -> "KERTBN | NRTBN":
+    """Reconstruct a usable model from a bundle dict.
+
+    KERT-BN bundles recover their ``f`` (as a bare expression — the
+    original workflow AST is not needed to *use* the model).
+    """
+    family = spec.get("family")
+    if family not in ("kertbn", "nrtbn"):
+        raise DataError(f"unknown model family {family!r}")
+    network = network_from_dict(spec["network"])
+    report = _report_from_dict(spec["report"])
+    disc = (
+        discretizer_from_dict(spec["discretizer"])
+        if "discretizer" in spec
+        else None
+    )
+    if family == "nrtbn":
+        return NRTBN(
+            network=network,
+            response=spec["response"],
+            report=report,
+            discretizer=disc,
+        )
+    from repro.bn.io import expression_from_dict
+
+    expr = expression_from_dict(spec["f_expression"])
+    f = ResponseTimeFunction(workflow=None, expression=expr, mode="loaded")
+    return KERTBN(
+        network=network,
+        f=f,
+        response=spec["response"],
+        report=report,
+        discretizer=disc,
+    )
+
+
+def save_model(model: "KERTBN | NRTBN", path: str) -> None:
+    """Write a model bundle to ``path`` (JSON)."""
+    with open(path, "w") as fh:
+        json.dump(model_to_dict(model), fh)
+
+
+def load_model(path: str) -> "KERTBN | NRTBN":
+    """Read a model bundle from ``path``."""
+    with open(path) as fh:
+        return model_from_dict(json.load(fh))

@@ -1,0 +1,38 @@
+"""Decentralized parameter learning (Section 3.4).
+
+Each CPD ``P(X_i | Φ(X_i))`` needs only the data of service *i* and its
+KERT-BN parents, so it can be computed *on service i's monitoring agent*
+after the parents ship their elapsed-time columns over (piggybacked on
+application requests in the paper's SOAP suggestion).  The central
+server keeps only the structure and the finished CPDs.
+
+Three layers:
+
+- :mod:`repro.decentralized.messaging` — channels with payload-size
+  accounting between agents;
+- :mod:`repro.decentralized.agent` / :mod:`repro.decentralized.coordinator`
+  — the agent-side learning step and the server-side assembly, with the
+  Section-4.3 timing accounting (decentralized time = max per-agent
+  time; centralized = sum);
+- :mod:`repro.decentralized.parallel` — an optional true-concurrency
+  executor on :mod:`multiprocessing`, for demonstration on multi-core
+  machines.
+"""
+
+from repro.decentralized.messaging import Message, Channel, Network
+from repro.decentralized.agent import LearningAgent
+from repro.decentralized.coordinator import Coordinator, DecentralizedResult
+from repro.decentralized.parallel import parallel_parameter_learning
+from repro.decentralized.piggyback import PiggybackDistributor, PiggybackResult
+
+__all__ = [
+    "Message",
+    "Channel",
+    "Network",
+    "LearningAgent",
+    "Coordinator",
+    "DecentralizedResult",
+    "parallel_parameter_learning",
+    "PiggybackDistributor",
+    "PiggybackResult",
+]

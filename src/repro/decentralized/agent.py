@@ -1,0 +1,123 @@
+"""The agent-side unit of decentralized learning.
+
+A :class:`LearningAgent` lives with one service.  It holds the service's
+own elapsed-time column (collected locally by its monitoring point),
+receives its KERT-BN parents' columns over the network, and — once all
+parent columns have arrived — fits ``P(X_i | Φ(X_i))`` locally, timing
+the fit.  Agents for root nodes (``Φ(X_i) = ∅``) need no communication
+at all, exactly as Section 3.4 observes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.bn.cpd.base import CPD
+from repro.bn.data import Dataset
+from repro.bn.learning.mle import fit_linear_gaussian, fit_tabular
+from repro.decentralized.messaging import Message
+from repro.exceptions import LearningError
+from repro.utils.timing import timed
+
+CpdFitter = Callable[[Dataset, str, tuple[str, ...]], CPD]
+
+
+def linear_gaussian_fitter(min_variance: float = 1e-9) -> CpdFitter:
+    """Continuous-model fitter (the Section-4 simulation study)."""
+
+    def fit(data: Dataset, variable: str, parents: tuple[str, ...]) -> CPD:
+        return fit_linear_gaussian(data, variable, parents, min_variance=min_variance)
+
+    return fit
+
+
+def tabular_fitter(cardinalities: dict, alpha: float = 1.0) -> CpdFitter:
+    """Discrete-model fitter (the Section-5 eDiaMoND models)."""
+
+    def fit(data: Dataset, variable: str, parents: tuple[str, ...]) -> CPD:
+        return fit_tabular(
+            data,
+            variable,
+            cardinalities[variable],
+            parents,
+            tuple(cardinalities[p] for p in parents),
+            alpha=alpha,
+        )
+
+    return fit
+
+
+@dataclass
+class LearningAgent:
+    """Monitoring agent extended with local CPD learning."""
+
+    service: str
+    parents: tuple[str, ...]
+    fitter: CpdFitter
+    _columns: dict = field(default_factory=dict, repr=False)
+    last_fit_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        self.parents = tuple(self.parents)
+        if self.service in self.parents:
+            raise LearningError(f"{self.service!r} cannot be its own parent")
+
+    # ------------------------------------------------------------------ #
+    # Data acquisition
+    # ------------------------------------------------------------------ #
+
+    def collect_local(self, column: np.ndarray) -> None:
+        """Ingest the service's own monitoring-point measurements."""
+        self._columns[self.service] = np.asarray(column, dtype=float)
+
+    def receive(self, message: Message) -> None:
+        """Ingest a parent's elapsed-time column from the network."""
+        if message.recipient != self.service:
+            raise LearningError(
+                f"agent {self.service!r} received a message for "
+                f"{message.recipient!r}"
+            )
+        if message.column not in self.parents:
+            raise LearningError(
+                f"agent {self.service!r} has no parent {message.column!r}"
+            )
+        self._columns[message.column] = np.asarray(message.payload, dtype=float)
+
+    @property
+    def ready(self) -> bool:
+        """All required columns present?"""
+        return self.service in self._columns and all(
+            p in self._columns for p in self.parents
+        )
+
+    @property
+    def missing(self) -> tuple[str, ...]:
+        need = (self.service, *self.parents)
+        return tuple(c for c in need if c not in self._columns)
+
+    # ------------------------------------------------------------------ #
+    # Learning
+    # ------------------------------------------------------------------ #
+
+    def learn(self) -> CPD:
+        """Fit this service's CPD from the local batch; records timing.
+
+        This is the decentralizable unit: its input is exactly
+        ``{X_i} ∪ Φ(X_i)``, nothing global.
+        """
+        if not self.ready:
+            raise LearningError(
+                f"agent {self.service!r} missing columns {self.missing}"
+            )
+        lengths = {c: v.size for c, v in self._columns.items()}
+        if len(set(lengths.values())) != 1:
+            raise LearningError(
+                f"agent {self.service!r} has misaligned columns {lengths}"
+            )
+        local = Dataset(self._columns)
+        cpd, secs = timed(self.fitter, local, self.service, self.parents)
+        self.last_fit_seconds = secs
+        return cpd

@@ -1,0 +1,66 @@
+"""True-concurrency decentralized learning on :mod:`multiprocessing`.
+
+The analytic accounting in :class:`~repro.decentralized.coordinator.
+Coordinator` (max of per-CPD times) matches the paper's Section 4.3
+methodology and is what the Fig. 5 benchmark reports — it is robust on a
+single-core machine.  This module additionally *demonstrates* the
+concurrency for real: each worker process receives only its node's
+columns (the data-locality property), fits, and ships the CPD back.
+
+Worker payloads go through module-level functions (picklable); each
+worker draws only ``{X_i} ∪ Φ(X_i)`` columns, mirroring what a per-
+service monitoring agent would hold.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from typing import Iterable
+
+import numpy as np
+
+from repro.bn.dag import DAG
+from repro.bn.data import Dataset
+from repro.bn.learning.mle import fit_linear_gaussian
+from repro.exceptions import LearningError
+
+
+def _fit_one(args: tuple) -> tuple:
+    """Worker: fit one linear-Gaussian CPD from its local columns."""
+    variable, parents, columns = args
+    local = Dataset({k: np.asarray(v) for k, v in columns.items()})
+    cpd = fit_linear_gaussian(local, variable, parents)
+    return variable, cpd
+
+
+def parallel_parameter_learning(
+    dag: DAG,
+    data: Dataset,
+    nodes: "Iterable[str] | None" = None,
+    processes: "int | None" = None,
+) -> dict:
+    """Fit the CPDs of ``nodes`` concurrently, one task per node.
+
+    Returns ``{node: LinearGaussianCPD}``.  ``processes=None`` lets the
+    pool size default to the CPU count; on a single-core host this
+    degrades gracefully to sequential execution with identical results
+    (determinism does not depend on scheduling because each fit is a
+    pure function of its columns).
+    """
+    node_list = [str(n) for n in (nodes if nodes is not None else dag.nodes)]
+    unknown = [n for n in node_list if n not in dag]
+    if unknown:
+        raise LearningError(f"nodes not in structure: {unknown}")
+    tasks = []
+    for node in node_list:
+        parents = tuple(map(str, dag.parents(node)))
+        columns = {node: np.asarray(data[node], dtype=float)}
+        for p in parents:
+            columns[p] = np.asarray(data[p], dtype=float)
+        tasks.append((node, parents, columns))
+    if len(tasks) == 1 or (processes is not None and processes <= 1):
+        return dict(_fit_one(t) for t in tasks)
+    ctx = mp.get_context("fork") if "fork" in mp.get_all_start_methods() else mp.get_context()
+    with ctx.Pool(processes=processes) as pool:
+        results = pool.map(_fit_one, tasks)
+    return dict(results)

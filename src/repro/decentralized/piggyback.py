@@ -1,0 +1,137 @@
+"""SOAP-piggyback data distribution — the paper's Section-3.4 sketch.
+
+"User requests are sent from immediate upstream services … to a
+downstream service.  These communications can be leveraged to send
+elapsed time data from parents Φ(X_i) to X_i, by attaching the data in
+an extra SOAP segment at the end of the application request messages."
+
+:class:`PiggybackDistributor` replays a transaction trace: every time a
+request flows along a workflow edge ``i → j``, the parent's measurements
+*since the last request on that edge* ride along.  No dedicated
+monitoring messages are sent at all — the cost is purely the extra bytes
+on application traffic, which the class accounts per edge so the
+"frequency that will not flood the network" requirement can be checked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.bn.dag import DAG
+from repro.exceptions import LearningError
+from repro.simulator.engine import TransactionRecord
+
+
+@dataclass
+class EdgeTraffic:
+    """Piggyback accounting for one workflow edge."""
+
+    parent: str
+    child: str
+    n_requests: int = 0
+    n_values: int = 0
+
+    @property
+    def extra_bytes(self) -> int:
+        # One float64 per piggybacked measurement plus a small header per
+        # request that actually carried data.
+        return 8 * self.n_values + 16 * min(self.n_requests, self.n_values)
+
+    @property
+    def values_per_request(self) -> float:
+        return self.n_values / self.n_requests if self.n_requests else 0.0
+
+
+@dataclass
+class PiggybackResult:
+    """Columns accumulated at each child agent plus the traffic bill."""
+
+    columns: dict
+    traffic: "dict[tuple[str, str], EdgeTraffic]" = field(default_factory=dict)
+
+    @property
+    def total_extra_bytes(self) -> int:
+        return sum(t.extra_bytes for t in self.traffic.values())
+
+    @property
+    def n_dedicated_messages(self) -> int:
+        """Dedicated monitoring messages used: always zero — the point."""
+        return 0
+
+
+class PiggybackDistributor:
+    """Distribute parent columns to child agents over application traffic.
+
+    ``structure`` is the KERT-BN service DAG (its edges are exactly the
+    immediate-upstream relations, i.e. the paths application requests
+    already travel).
+    """
+
+    def __init__(self, structure: DAG):
+        self.structure = structure.copy()
+
+    def replay(
+        self, records: Sequence[TransactionRecord]
+    ) -> PiggybackResult:
+        """Replay a trace, accumulating piggybacked parent columns.
+
+        For each transaction and each structure edge ``p → c`` whose both
+        endpoints the transaction touched, the parent's elapsed-time
+        measurement for that transaction is delivered to ``c``'s agent on
+        the application request itself.
+        """
+        if not records:
+            raise LearningError("no transaction records to replay")
+        edges = [(str(u), str(v)) for u, v in self.structure.edges]
+        received: dict[str, dict[str, list[float]]] = {}
+        own: dict[str, list[float]] = {str(n): [] for n in self.structure.nodes}
+        traffic = {e: EdgeTraffic(parent=e[0], child=e[1]) for e in edges}
+        for record in records:
+            for node in own:
+                if node in record.elapsed:
+                    own[node].append(record.elapsed[node])
+            for p, c in edges:
+                if p in record.elapsed and c in record.elapsed:
+                    t = traffic[(p, c)]
+                    t.n_requests += 1
+                    t.n_values += 1
+                    received.setdefault(c, {}).setdefault(p, []).append(
+                        record.elapsed[p]
+                    )
+
+        columns: dict[str, dict[str, np.ndarray]] = {}
+        for node in own:
+            cols = {node: np.asarray(own[node], dtype=float)}
+            for parent, values in received.get(node, {}).items():
+                cols[parent] = np.asarray(values, dtype=float)
+            columns[str(node)] = cols
+        return PiggybackResult(columns=columns, traffic=traffic)
+
+    def learn_from_replay(
+        self, records: Sequence[TransactionRecord], fitter
+    ) -> tuple[dict, PiggybackResult]:
+        """Replay, then fit every node's CPD from its local piggybacked
+        columns (aligned to transactions where node and all parents were
+        measured together)."""
+        from repro.bn.data import Dataset
+
+        result = self.replay(records)
+        cpds = {}
+        for node in map(str, self.structure.nodes):
+            parents = tuple(map(str, self.structure.parents(node)))
+            cols = result.columns[node]
+            missing = [p for p in parents if p not in cols]
+            if missing:
+                raise LearningError(
+                    f"agent {node!r} never received columns {missing} — "
+                    "no application traffic on those edges"
+                )
+            # Align lengths: keep the shortest common series (transactions
+            # in which node and all its parents were all measured).
+            n = min(len(cols[c]) for c in (node, *parents))
+            local = Dataset({c: cols[c][-n:] for c in (node, *parents)})
+            cpds[node] = fitter(local, node, parents)
+        return cpds, result

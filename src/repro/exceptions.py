@@ -1,0 +1,41 @@
+"""Exception hierarchy for the repro library.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch library failures without masking programming errors.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """Invalid graph operation (cycle introduction, unknown node, ...)."""
+
+
+class CPDError(ReproError):
+    """Invalid conditional probability distribution definition or use."""
+
+
+class InferenceError(ReproError):
+    """Inference query cannot be answered (bad evidence, no support, ...)."""
+
+
+class LearningError(ReproError):
+    """Parameter or structure learning failed (degenerate data, ...)."""
+
+
+class WorkflowError(ReproError):
+    """Malformed workflow definition or reduction failure."""
+
+
+class SimulationError(ReproError):
+    """Discrete-event simulation error (dangling call, bad config, ...)."""
+
+
+class DataError(ReproError):
+    """Dataset construction / access error."""
+
+
+class SchedulingError(ReproError):
+    """Model (re)construction schedule misconfiguration."""

@@ -1,0 +1,67 @@
+"""Discrete-event simulator of service-oriented systems.
+
+Stands in for the paper's Matlab simulator (Section 4.1) and for the
+eDiaMoND test-bed (Section 5): services "receive and send calls among
+[each other] and randomly generate a processing delay upon receiving
+calls", assembled by workflows into applications.  On top of the paper's
+minimal generative story the simulator adds the effects a real test-bed
+would exhibit — FIFO queueing, per-request demand correlation, immediate
+-upstream coupling (the "bottleneck shift" signal the KERT-BN edges are
+meant to capture), host resource contention, and imprecise monitoring
+(the Eq.-4 leak).
+
+Key entry points: :class:`SimulatedEnvironment` (assemble and run),
+:func:`repro.simulator.scenarios.ediamond.ediamond_scenario` (the Fig. 1
+six-service system), :func:`repro.simulator.scenarios.random_env.random_environment`
+(the Figs. 3–5 synthetic environments).
+"""
+
+from repro.simulator.delays import (
+    DelayDistribution,
+    Exponential,
+    LogNormal,
+    Gamma,
+    Deterministic,
+    Uniform,
+    Shifted,
+)
+from repro.simulator.service import ServiceSpec, Host
+from repro.simulator.engine import Engine, TransactionRecord
+from repro.simulator.workload import (
+    OpenWorkload,
+    ClosedWorkload,
+    BurstyWorkload,
+    FixedIntervalWorkload,
+)
+from repro.simulator.faults import FaultSchedule, Degradation
+from repro.simulator.report import analyze_trace, format_report
+from repro.simulator.monitoring import MonitoringAgent, ManagementServer
+from repro.simulator.environment import SimulatedEnvironment
+from repro.simulator.traces import trace_to_dataset, inject_missing
+
+__all__ = [
+    "DelayDistribution",
+    "Exponential",
+    "LogNormal",
+    "Gamma",
+    "Deterministic",
+    "Uniform",
+    "Shifted",
+    "ServiceSpec",
+    "Host",
+    "Engine",
+    "TransactionRecord",
+    "OpenWorkload",
+    "ClosedWorkload",
+    "BurstyWorkload",
+    "FixedIntervalWorkload",
+    "FaultSchedule",
+    "Degradation",
+    "analyze_trace",
+    "format_report",
+    "MonitoringAgent",
+    "ManagementServer",
+    "SimulatedEnvironment",
+    "trace_to_dataset",
+    "inject_missing",
+]

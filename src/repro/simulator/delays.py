@@ -1,0 +1,162 @@
+"""Service processing-delay distributions.
+
+Real middleware elapsed times are positive and right-skewed; the default
+scenarios use :class:`LogNormal` and :class:`Gamma` with an optional
+:class:`Shifted` floor for fixed protocol overhead (marshalling, network
+round trip).
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+
+
+class DelayDistribution(abc.ABC):
+    """A positive random processing delay."""
+
+    @abc.abstractmethod
+    def sample(self, rng: np.random.Generator, size: "int | None" = None):
+        """Draw one delay (or ``size`` delays)."""
+
+    @property
+    @abc.abstractmethod
+    def mean(self) -> float:
+        """Expected delay (used for utilization sanity checks)."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(mean={self.mean:.4g})"
+
+
+class Exponential(DelayDistribution):
+    """Memoryless delay with the given mean."""
+
+    def __init__(self, mean: float):
+        if not mean > 0:
+            raise SimulationError(f"mean must be > 0, got {mean}")
+        self._mean = float(mean)
+
+    def sample(self, rng, size=None):
+        return rng.exponential(self._mean, size=size)
+
+    @property
+    def mean(self) -> float:
+        return self._mean
+
+
+class LogNormal(DelayDistribution):
+    """Right-skewed delay; parameterized by median and log-space sigma."""
+
+    def __init__(self, median: float, sigma: float = 0.5):
+        if not median > 0:
+            raise SimulationError(f"median must be > 0, got {median}")
+        if not sigma >= 0:
+            raise SimulationError(f"sigma must be >= 0, got {sigma}")
+        self.median = float(median)
+        self.sigma = float(sigma)
+
+    def sample(self, rng, size=None):
+        return self.median * np.exp(rng.normal(0.0, self.sigma, size=size))
+
+    @property
+    def mean(self) -> float:
+        return self.median * math.exp(0.5 * self.sigma**2)
+
+
+class Gamma(DelayDistribution):
+    """Gamma(shape, scale) delay."""
+
+    def __init__(self, shape: float, scale: float):
+        if not shape > 0 or not scale > 0:
+            raise SimulationError("shape and scale must be > 0")
+        self.shape = float(shape)
+        self.scale = float(scale)
+
+    def sample(self, rng, size=None):
+        return rng.gamma(self.shape, self.scale, size=size)
+
+    @property
+    def mean(self) -> float:
+        return self.shape * self.scale
+
+
+class Uniform(DelayDistribution):
+    """Uniform delay on ``[low, high]``."""
+
+    def __init__(self, low: float, high: float):
+        if not 0 <= low < high:
+            raise SimulationError(f"need 0 <= low < high, got [{low}, {high}]")
+        self.low = float(low)
+        self.high = float(high)
+
+    def sample(self, rng, size=None):
+        return rng.uniform(self.low, self.high, size=size)
+
+    @property
+    def mean(self) -> float:
+        return 0.5 * (self.low + self.high)
+
+
+class Deterministic(DelayDistribution):
+    """Constant delay (useful in tests and for WAN propagation floors)."""
+
+    def __init__(self, value: float):
+        if not value >= 0:
+            raise SimulationError(f"value must be >= 0, got {value}")
+        self.value = float(value)
+
+    def sample(self, rng, size=None):
+        if size is None:
+            return self.value
+        return np.full(size, self.value)
+
+    @property
+    def mean(self) -> float:
+        return self.value
+
+
+class Scaled(DelayDistribution):
+    """``factor · base`` — a resource action's effect on a service.
+
+    pAccel's scenario "accelerates" a service by scaling its delay
+    distribution (e.g. ``factor=0.9`` after a local resource allocation,
+    Section 5.2).
+    """
+
+    def __init__(self, base: DelayDistribution, factor: float):
+        if not factor > 0:
+            raise SimulationError(f"factor must be > 0, got {factor}")
+        self.base = base
+        self.factor = float(factor)
+
+    def sample(self, rng, size=None):
+        return self.factor * self.base.sample(rng, size=size)
+
+    @property
+    def mean(self) -> float:
+        return self.factor * self.base.mean
+
+
+class Shifted(DelayDistribution):
+    """``offset + base`` — a fixed floor under a random component.
+
+    Models fixed overhead (e.g. the emulated WAN hop to the "remote"
+    hospital in the eDiaMoND scenario) plus variable processing.
+    """
+
+    def __init__(self, base: DelayDistribution, offset: float):
+        if not offset >= 0:
+            raise SimulationError(f"offset must be >= 0, got {offset}")
+        self.base = base
+        self.offset = float(offset)
+
+    def sample(self, rng, size=None):
+        return self.offset + self.base.sample(rng, size=size)
+
+    @property
+    def mean(self) -> float:
+        return self.offset + self.base.mean

@@ -1,0 +1,183 @@
+"""A fully assembled simulated service-oriented environment.
+
+:class:`SimulatedEnvironment` ties together workflow, services, hosts and
+workload, and exposes the two operations every experiment needs:
+
+- :meth:`simulate` — run transactions and return a learning dataset;
+- :meth:`train_test` — independent training and testing datasets (the
+  paper refreshes both per repetition).
+
+It also exposes the environment's *domain knowledge* — the response-time
+function ``f`` and the KERT-BN structure — because that is precisely
+what the paper assumes is "readily available" to the modeler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.bn.dag import DAG
+from repro.bn.data import Dataset
+from repro.exceptions import SimulationError
+from repro.simulator.engine import Engine, TransactionRecord
+from repro.simulator.service import Host, ServiceSpec
+from repro.simulator.traces import trace_to_dataset, warmup_filter
+from repro.simulator.workload import OpenWorkload, Workload
+from repro.utils.rng import ensure_rng
+from repro.workflow.constructs import WorkflowNode
+from repro.workflow.response_time import ResponseTimeFunction, response_time_function
+from repro.workflow.structure import kert_bn_structure
+
+
+@dataclass
+class SimulatedEnvironment:
+    """Workflow + services + hosts + workload, ready to generate data."""
+
+    workflow: WorkflowNode
+    services: tuple[ServiceSpec, ...]
+    hosts: tuple[Host, ...] = ()
+    workload: Workload = field(default_factory=lambda: OpenWorkload(rate=0.5))
+    response: str = "D"
+    demand_sigma: float = 0.25
+    measurement_noise: float = 0.02
+    warmup: int = 20
+    resource_groups: "Mapping[str, tuple[str, ...]] | None" = None
+
+    def __post_init__(self) -> None:
+        self.services = tuple(self.services)
+        self.hosts = tuple(self.hosts)
+        self.workflow.validate()
+        spec_names = {s.name for s in self.services}
+        wf_names = set(self.workflow.services())
+        if spec_names != wf_names:
+            raise SimulationError(
+                f"service specs {sorted(spec_names)} do not match workflow "
+                f"services {sorted(wf_names)}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Domain knowledge (what the modeler is given for free)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def service_names(self) -> tuple[str, ...]:
+        return self.workflow.services()
+
+    def response_time_function(self) -> ResponseTimeFunction:
+        """The Eq.-4 deterministic ``f`` derived from the workflow."""
+        return response_time_function(self.workflow)
+
+    def knowledge_structure(self, include_resources: bool = False) -> DAG:
+        """The KERT-BN DAG derived from workflow (+ resource sharing)."""
+        return kert_bn_structure(
+            self.workflow,
+            response=self.response,
+            resource_groups=self.resource_groups if include_resources else None,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Data generation
+    # ------------------------------------------------------------------ #
+
+    def run_transactions(self, n: int, rng=None) -> list[TransactionRecord]:
+        """Run ``warmup + n`` transactions, return the last ``n``."""
+        rng = ensure_rng(rng)
+        total = n + self.warmup
+        engine = Engine(
+            self.workflow,
+            self.services,
+            self.hosts,
+            demand_sigma=self.demand_sigma,
+            rng=rng,
+        )
+        arrivals = self.workload.arrival_times(total, rng)
+        records = engine.run(arrivals)
+        return warmup_filter(records, self.warmup) if self.warmup else records
+
+    def simulate(
+        self,
+        n_points: int,
+        rng=None,
+        aggregate: str = "transactions",
+        t_data: "float | None" = None,
+    ) -> Dataset:
+        """Generate a dataset of ``n_points`` monitored data points."""
+        rng = ensure_rng(rng)
+        if aggregate == "transactions":
+            records = self.run_transactions(n_points, rng)
+            return trace_to_dataset(
+                records,
+                self.service_names,
+                response=self.response,
+                measurement_noise=self.measurement_noise,
+                rng=rng,
+            )
+        # Window aggregation: run enough transactions to fill the windows.
+        if t_data is None:
+            raise SimulationError("window aggregation needs t_data")
+        rate = getattr(self.workload, "rate", None)
+        per_window = max(int((rate or 1.0) * t_data), 1)
+        records = self.run_transactions(n_points * per_window + per_window, rng)
+        data = trace_to_dataset(
+            records,
+            self.service_names,
+            response=self.response,
+            measurement_noise=self.measurement_noise,
+            aggregate="window",
+            t_data=t_data,
+            rng=rng,
+        )
+        return data.head(n_points) if data.n_rows >= n_points else data
+
+    def train_test(
+        self, n_train: int, n_test: int, rng=None
+    ) -> tuple[Dataset, Dataset]:
+        """Fresh, independent training and testing datasets."""
+        rng = ensure_rng(rng)
+        data = self.simulate(n_train + n_test, rng)
+        return data.split(n_train)
+
+    def simulate_via_agents(
+        self,
+        n_points: int,
+        rng=None,
+        t_data: float = 10.0,
+        reporting_loss: float = 0.0,
+        require_complete: bool = False,
+    ) -> Dataset:
+        """Generate data through the full monitoring pipeline of Fig. 1.
+
+        Unlike :meth:`simulate` (which reads the engine's records
+        directly), this routes every measurement through a per-host
+        :class:`~repro.simulator.monitoring.MonitoringAgent` (noise,
+        batching, optional reporting loss) and assembles rows at the
+        :class:`~repro.simulator.monitoring.ManagementServer`.  With
+        ``reporting_loss > 0`` the returned dataset contains NaNs —
+        dComp's and EM's raw material.
+        """
+        from repro.simulator.monitoring import ManagementServer, MonitoringAgent
+
+        rng = ensure_rng(rng)
+        records = self.run_transactions(n_points, rng)
+        by_host: dict[str, list[str]] = {}
+        for spec in self.services:
+            by_host.setdefault(spec.host, []).append(spec.name)
+        agents = [
+            MonitoringAgent(
+                host=host,
+                services=tuple(names),
+                t_data=t_data,
+                measurement_noise=self.measurement_noise,
+                reporting_loss=reporting_loss,
+            )
+            for host, names in by_host.items()
+        ]
+        server = ManagementServer(self.service_names, response=self.response)
+        for agent in agents:
+            agent.observe(records, rng)
+            server.collect(agent.report())
+        server.collect_responses(records)
+        return server.assemble(require_complete=require_complete)

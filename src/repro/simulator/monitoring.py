@@ -1,0 +1,140 @@
+"""Monitoring infrastructure: points, agents, management server.
+
+Mirrors Section 2 / Figure 1: monitoring points instrument middleware
+components and measure elapsed time; a monitoring agent per machine
+listens to its services' points, batches measurements, and reports them
+to the management server every ``T_DATA``; the server assembles complete
+``(X, D)`` rows for model construction.
+
+The same agent objects are reused by :mod:`repro.decentralized`, where
+they additionally *learn* their services' CPDs locally instead of just
+shipping raw data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.bn.data import Dataset
+from repro.exceptions import SimulationError
+from repro.simulator.engine import TransactionRecord
+from repro.utils.rng import ensure_rng
+
+
+@dataclass
+class Measurement:
+    """One monitoring-point reading."""
+
+    request_id: int
+    service: str
+    elapsed: float
+    completion: float
+
+
+@dataclass
+class MonitoringAgent:
+    """Per-machine agent: listens to monitoring points, batches, reports.
+
+    ``reporting_loss`` drops each measurement with the given probability
+    — "failure in the act of data reporting", one of Section 5.1's three
+    sources of missing data.
+    """
+
+    host: str
+    services: tuple[str, ...]
+    t_data: float = 10.0
+    measurement_noise: float = 0.0
+    reporting_loss: float = 0.0
+    _buffer: list = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        self.services = tuple(self.services)
+        if not self.services:
+            raise SimulationError(f"agent on {self.host!r} monitors no services")
+        if not self.t_data > 0:
+            raise SimulationError("t_data must be > 0")
+        if not 0.0 <= self.reporting_loss < 1.0:
+            raise SimulationError("reporting_loss must be in [0, 1)")
+
+    def observe(self, records: Sequence[TransactionRecord], rng=None) -> None:
+        """Ingest the monitoring-point readings for this agent's services."""
+        rng = ensure_rng(rng)
+        for r in records:
+            for s in self.services:
+                if s not in r.elapsed:
+                    continue
+                if self.reporting_loss and rng.random() < self.reporting_loss:
+                    continue
+                value = r.elapsed[s]
+                if self.measurement_noise:
+                    value *= 1.0 + rng.normal(0.0, self.measurement_noise)
+                    value = max(value, 0.0)
+                self._buffer.append(
+                    Measurement(r.request_id, s, float(value), r.completion)
+                )
+
+    def report(self) -> list[Measurement]:
+        """Flush the batch (one report per ``t_data`` in wall terms)."""
+        out, self._buffer = self._buffer, []
+        return out
+
+    @property
+    def pending(self) -> int:
+        return len(self._buffer)
+
+
+class ManagementServer:
+    """Central collector assembling per-transaction rows from agent reports."""
+
+    def __init__(self, services: Iterable[str], response: str = "D"):
+        self.services = tuple(str(s) for s in services)
+        self.response = str(response)
+        if self.response in self.services:
+            raise SimulationError("response name collides with a service")
+        self._rows: dict[int, dict[str, float]] = {}
+        self._responses: dict[int, float] = {}
+
+    def collect(self, measurements: Iterable[Measurement]) -> None:
+        for m in measurements:
+            if m.service not in self.services:
+                raise SimulationError(f"report for unknown service {m.service!r}")
+            self._rows.setdefault(m.request_id, {})[m.service] = m.elapsed
+
+    def collect_responses(self, records: Sequence[TransactionRecord]) -> None:
+        """Client-side end-to-end response times (always observable)."""
+        for r in records:
+            self._responses[r.request_id] = r.response_time
+
+    def assemble(self, require_complete: bool = False) -> Dataset:
+        """Build the training dataset.
+
+        With ``require_complete=False`` (default) transactions missing a
+        service's report get ``NaN`` there — dComp's raw material; with
+        ``True`` incomplete transactions are dropped.
+        """
+        ids = sorted(self._responses)
+        if not ids:
+            raise SimulationError("no responses collected")
+        cols: dict[str, list[float]] = {s: [] for s in self.services}
+        resp: list[float] = []
+        kept = 0
+        for rid in ids:
+            row = self._rows.get(rid, {})
+            if require_complete and len(row) < len(self.services):
+                continue
+            for s in self.services:
+                cols[s].append(row.get(s, np.nan))
+            resp.append(self._responses[rid])
+            kept += 1
+        if kept == 0:
+            raise SimulationError("no complete transactions to assemble")
+        data = {s: np.asarray(v) for s, v in cols.items()}
+        data[self.response] = np.asarray(resp)
+        return Dataset(data)
+
+    def reset(self) -> None:
+        self._rows.clear()
+        self._responses.clear()

@@ -1,0 +1,125 @@
+"""The eDiaMoND scenario of Figures 1 and 2.
+
+Six Grid services serve a radiologist's mammogram retrieval:
+
+- ``X1`` *image_list* — entry point, receives the client request;
+- ``X2`` *work_list* — returns the radiologist's assigned images;
+- ``X3`` *image_locator_local* / ``X4`` *image_locator_remote* —
+  invoked **in parallel** on the local hospital L and remote hospital R;
+- ``X5`` *ogsa_dai_local* / ``X6`` *ogsa_dai_remote* — the OGSA-DAI
+  database wrappers each locator calls.
+
+yielding the Fig. 2 KERT-BN and the Section 3.3 function
+``D = X1 + X2 + max(X3 + X5, X4 + X6)``.
+
+Hardware substitution (see DESIGN.md): the paper hosted the four
+site services on four AIX machines and ``image_list``/``work_list`` on a
+shared Linux server, with extra request forwarding emulating the WAN to
+hospital R.  Here: one host per site service, a shared (contended)
+``linux_server`` host for X1/X2, and a fixed WAN offset added to the
+remote branch's delays.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.simulator.delays import LogNormal, Scaled, Shifted
+from repro.simulator.environment import SimulatedEnvironment
+from repro.simulator.service import Host, ServiceSpec
+from repro.simulator.workload import OpenWorkload
+from repro.workflow.constructs import Activity, Parallel, Sequence
+
+#: Service id → middleware component name (paper, Fig. 1/2).
+EDIAMOND_ALIASES: dict[str, str] = {
+    "X1": "image_list",
+    "X2": "work_list",
+    "X3": "image_locator_local",
+    "X4": "image_locator_remote",
+    "X5": "ogsa_dai_local",
+    "X6": "ogsa_dai_remote",
+}
+
+
+def ediamond_workflow() -> Sequence:
+    """The Fig. 1 invocation structure."""
+    return Sequence(
+        [
+            Activity("X1"),
+            Activity("X2"),
+            Parallel(
+                [
+                    Sequence([Activity("X3"), Activity("X5")]),
+                    Sequence([Activity("X4"), Activity("X6")]),
+                ]
+            ),
+        ]
+    )
+
+
+def ediamond_scenario(
+    arrival_rate: float = 0.4,
+    wan_delay: float = 0.25,
+    measurement_noise: float = 0.02,
+    demand_sigma: float = 0.3,
+    contention: float = 0.15,
+    service_speedups: "Mapping[str, float] | None" = None,
+) -> SimulatedEnvironment:
+    """Build the simulated eDiaMoND environment.
+
+    Parameters mirror the physical levers of the test-bed: ``wan_delay``
+    is the emulated hop to the remote hospital, ``demand_sigma`` the
+    mammogram-size variability that correlates all services of one
+    transaction, ``contention`` the slowdown on the shared Linux server.
+    ``service_speedups`` applies local resource actions: ``{"X4": 0.9}``
+    scales X4's delay distribution to 90 % — the Section-5.2 pAccel
+    experiment's physical change.
+    """
+    workflow = ediamond_workflow()
+    hosts = (
+        Host("linux_server", contention=contention),
+        Host("aix_loc_l"),
+        Host("aix_dai_l"),
+        Host("aix_loc_r"),
+        Host("aix_dai_r"),
+    )
+    services = (
+        ServiceSpec("X1", LogNormal(0.15, 0.35), host="linux_server",
+                    demand_sensitivity=0.5),
+        ServiceSpec("X2", LogNormal(0.10, 0.30), host="linux_server",
+                    upstream_coupling=0.15),
+        ServiceSpec("X3", LogNormal(0.12, 0.40), host="aix_loc_l",
+                    demand_sensitivity=0.8, upstream_coupling=0.10),
+        ServiceSpec("X4", Shifted(LogNormal(0.12, 0.40), wan_delay),
+                    host="aix_loc_r", demand_sensitivity=0.8,
+                    upstream_coupling=0.10),
+        ServiceSpec("X5", LogNormal(0.40, 0.45), host="aix_dai_l",
+                    demand_sensitivity=1.0, upstream_coupling=0.20),
+        ServiceSpec("X6", Shifted(LogNormal(0.40, 0.45), wan_delay),
+                    host="aix_dai_r", demand_sensitivity=1.0,
+                    upstream_coupling=0.20),
+    )
+    if service_speedups:
+        unknown = set(service_speedups) - {s.name for s in services}
+        if unknown:
+            raise ValueError(f"service_speedups for unknown services {sorted(unknown)}")
+        services = tuple(
+            ServiceSpec(
+                s.name,
+                Scaled(s.delay, service_speedups[s.name]) if s.name in service_speedups else s.delay,
+                host=s.host,
+                demand_sensitivity=s.demand_sensitivity,
+                upstream_coupling=s.upstream_coupling,
+                queueing=s.queueing,
+            )
+            for s in services
+        )
+    return SimulatedEnvironment(
+        workflow=workflow,
+        services=services,
+        hosts=hosts,
+        workload=OpenWorkload(rate=arrival_rate),
+        demand_sigma=demand_sigma,
+        measurement_noise=measurement_noise,
+        resource_groups={"R_linux": ("X1", "X2")},
+    )

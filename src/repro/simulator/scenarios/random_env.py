@@ -1,0 +1,75 @@
+"""Random environments for the Figure 3–5 simulation studies.
+
+"The simulated services receive and send calls among [each other] and
+randomly generate a processing delay upon receiving calls.  They are
+assembled together by different workflows to constitute simulated
+applications."  (Section 4.1)
+
+:func:`random_environment` draws a random workflow over ``n`` services,
+random delay distributions, and random coupling/demand parameters, then
+wraps them in a :class:`~repro.simulator.environment.SimulatedEnvironment`
+whose arrival rate keeps utilization low (the paper's simulator had no
+queueing at all; low utilization keeps ours in the same regime while
+still exercising the queue code).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+from repro.simulator.delays import LogNormal
+from repro.simulator.environment import SimulatedEnvironment
+from repro.simulator.service import Host, ServiceSpec
+from repro.simulator.workload import OpenWorkload
+from repro.utils.rng import ensure_rng
+from repro.workflow.generator import random_workflow
+
+
+def random_environment(
+    n_services: int,
+    rng=None,
+    p_parallel: float = 0.35,
+    arrival_rate: float = 0.3,
+    services_per_host: int = 3,
+    contention: float = 0.05,
+    coupling_range: tuple[float, float] = (0.05, 0.30),
+    median_range: tuple[float, float] = (0.05, 0.40),
+    demand_sigma: float = 0.25,
+    measurement_noise: float = 0.02,
+) -> SimulatedEnvironment:
+    """Draw one random service-oriented environment."""
+    if n_services < 1:
+        raise SimulationError(f"need >= 1 service, got {n_services}")
+    rng = ensure_rng(rng)
+    workflow = random_workflow(n_services, rng, p_parallel=p_parallel)
+    names = workflow.services()
+
+    n_hosts = max(1, int(np.ceil(n_services / services_per_host)))
+    hosts = tuple(Host(f"host{h}", contention=contention) for h in range(n_hosts))
+    placements = rng.integers(0, n_hosts, size=n_services)
+
+    lo, hi = median_range
+    medians = np.exp(rng.uniform(np.log(lo), np.log(hi), size=n_services))
+    sigmas = rng.uniform(0.25, 0.55, size=n_services)
+    couplings = rng.uniform(*coupling_range, size=n_services)
+    sensitivities = rng.uniform(0.0, 1.0, size=n_services)
+
+    services = tuple(
+        ServiceSpec(
+            name=name,
+            delay=LogNormal(float(medians[i]), float(sigmas[i])),
+            host=f"host{int(placements[i])}",
+            demand_sensitivity=float(sensitivities[i]),
+            upstream_coupling=float(couplings[i]),
+        )
+        for i, name in enumerate(names)
+    )
+    return SimulatedEnvironment(
+        workflow=workflow,
+        services=services,
+        hosts=hosts,
+        workload=OpenWorkload(rate=arrival_rate),
+        demand_sigma=demand_sigma,
+        measurement_noise=measurement_noise,
+    )

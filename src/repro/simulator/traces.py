@@ -1,0 +1,138 @@
+"""Turning transaction records into learning datasets.
+
+One dataset row per monitored data point: either one row per transaction
+or one aggregated row per ``T_DATA`` reporting window (the paper's "a
+data point is reported" every ``T_DATA``).  Monitoring noise — the
+physical source of Eq. 4's leak ``l`` — is applied here, on the
+*measured* elapsed times only; the response time is measured at the
+client and stays exact.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.bn.data import Dataset
+from repro.exceptions import DataError
+from repro.simulator.engine import TransactionRecord
+from repro.utils.rng import ensure_rng
+
+
+def trace_to_dataset(
+    records: Sequence[TransactionRecord],
+    services: Iterable[str],
+    response: str = "D",
+    measurement_noise: float = 0.0,
+    aggregate: str = "transactions",
+    t_data: "float | None" = None,
+    rng=None,
+) -> Dataset:
+    """Convert transaction records to a ``(X_1..X_n, D)`` dataset.
+
+    Parameters
+    ----------
+    records:
+        Completed transactions from :meth:`Engine.run`.
+    services:
+        Column order for the elapsed-time columns; services a transaction
+        did not touch contribute 0 (the zero-fill convention the
+        measurement-mode ``f`` relies on).
+    measurement_noise:
+        Relative std of multiplicative Gaussian noise on elapsed times
+        (monitoring imprecision, Section 3.3's leak source).
+    aggregate:
+        ``"transactions"`` — one row per transaction;
+        ``"window"`` — one row per ``t_data`` interval holding the means
+        of the transactions completing in it (the per-``T_DATA`` data
+        point of Section 2).
+    """
+    if not records:
+        raise DataError("no transaction records")
+    services = [str(s) for s in services]
+    if response in services:
+        raise DataError(f"response column {response!r} collides with a service")
+    rng = ensure_rng(rng)
+
+    n = len(records)
+    cols = {s: np.zeros(n) for s in services}
+    resp = np.empty(n)
+    completion = np.empty(n)
+    for i, r in enumerate(records):
+        for s, v in r.elapsed.items():
+            if s in cols:
+                cols[s][i] = v
+        resp[i] = r.response_time
+        completion[i] = r.completion
+    if measurement_noise:
+        for s in services:
+            cols[s] = cols[s] * (1.0 + rng.normal(0.0, measurement_noise, size=n))
+            np.clip(cols[s], 0.0, None, out=cols[s])
+
+    if aggregate == "transactions":
+        data = dict(cols)
+        data[response] = resp
+        return Dataset(data)
+    if aggregate != "window":
+        raise DataError(f"aggregate must be 'transactions' or 'window', got {aggregate!r}")
+    if t_data is None or not t_data > 0:
+        raise DataError("window aggregation needs t_data > 0")
+    order = np.argsort(completion)
+    windows = np.floor(completion[order] / t_data).astype(int)
+    unique, starts = np.unique(windows, return_index=True)
+    bounds = list(starts) + [n]
+    agg = {s: np.empty(len(unique)) for s in services}
+    agg_resp = np.empty(len(unique))
+    for w in range(len(unique)):
+        idx = order[bounds[w]:bounds[w + 1]]
+        for s in services:
+            agg[s][w] = cols[s][idx].mean()
+        agg_resp[w] = resp[idx].mean()
+    data = dict(agg)
+    data[response] = agg_resp
+    return Dataset(data)
+
+
+def inject_missing(
+    data: Dataset,
+    columns: Iterable[str],
+    fraction: float = 1.0,
+    rng=None,
+) -> Dataset:
+    """Mask entries with NaN — unobservable components for dComp (Sec 5.1).
+
+    ``fraction=1.0`` blinds a column entirely (no instrumentation);
+    ``fraction<1`` models intermittent reporting failures.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise DataError(f"fraction must be in (0, 1], got {fraction}")
+    rng = ensure_rng(rng)
+    out = {}
+    targets = set(columns)
+    unknown = targets - set(data.columns)
+    if unknown:
+        raise DataError(f"unknown columns {sorted(unknown)}")
+    for c in data.columns:
+        col = np.asarray(data[c], dtype=float).copy()
+        if c in targets:
+            if fraction >= 1.0:
+                col[:] = np.nan
+            else:
+                mask = rng.random(col.size) < fraction
+                col[mask] = np.nan
+        out[c] = col
+    return Dataset(out)
+
+
+def warmup_filter(
+    records: Sequence[TransactionRecord], warmup: int
+) -> list[TransactionRecord]:
+    """Drop the first ``warmup`` transactions (cold-start bias)."""
+    if warmup < 0:
+        raise DataError(f"warmup must be >= 0, got {warmup}")
+    if warmup >= len(records):
+        raise DataError(
+            f"warmup {warmup} leaves no records out of {len(records)}"
+        )
+    return list(records[warmup:])

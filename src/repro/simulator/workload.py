@@ -1,0 +1,183 @@
+"""Workload (arrival-process) generators.
+
+The monitored transaction stream is driven by either an open Poisson
+workload (requests arrive regardless of completions — users on the web)
+or a closed workload (a fixed population of clients think, submit, wait
+— the radiologists of the eDiaMoND scenario).
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+from repro.utils.rng import ensure_rng
+
+
+class Workload(abc.ABC):
+    """Generates sorted arrival times."""
+
+    @abc.abstractmethod
+    def arrival_times(self, n: int, rng=None) -> np.ndarray:
+        """Return ``n`` sorted nonnegative arrival times."""
+
+
+class OpenWorkload(Workload):
+    """Poisson arrivals at ``rate`` requests per second."""
+
+    def __init__(self, rate: float):
+        if not rate > 0:
+            raise SimulationError(f"rate must be > 0, got {rate}")
+        self.rate = float(rate)
+
+    def arrival_times(self, n: int, rng=None) -> np.ndarray:
+        if n < 1:
+            raise SimulationError(f"need n >= 1, got {n}")
+        rng = ensure_rng(rng)
+        gaps = rng.exponential(1.0 / self.rate, size=n)
+        return np.cumsum(gaps)
+
+
+class FixedIntervalWorkload(Workload):
+    """One request every ``interval`` seconds (deterministic probing)."""
+
+    def __init__(self, interval: float, jitter: float = 0.0):
+        if not interval > 0:
+            raise SimulationError(f"interval must be > 0, got {interval}")
+        if jitter < 0 or jitter >= interval:
+            raise SimulationError("jitter must be in [0, interval)")
+        self.interval = float(interval)
+        self.jitter = float(jitter)
+
+    def arrival_times(self, n: int, rng=None) -> np.ndarray:
+        if n < 1:
+            raise SimulationError(f"need n >= 1, got {n}")
+        base = self.interval * np.arange(1, n + 1, dtype=float)
+        if self.jitter:
+            rng = ensure_rng(rng)
+            base = base + rng.uniform(0.0, self.jitter, size=n)
+            base.sort()
+        return base
+
+
+class BurstyWorkload(Workload):
+    """Two-state Markov-modulated Poisson arrivals.
+
+    Section 3.2's dependency story starts with "a burst in i's workload";
+    this process produces such bursts: the arrival rate alternates between
+    a ``base_rate`` phase and a ``burst_rate`` phase with exponentially
+    distributed phase durations.
+    """
+
+    def __init__(
+        self,
+        base_rate: float,
+        burst_rate: float,
+        mean_base_duration: float,
+        mean_burst_duration: float,
+    ):
+        if not 0 < base_rate < burst_rate:
+            raise SimulationError("need 0 < base_rate < burst_rate")
+        if not mean_base_duration > 0 or not mean_burst_duration > 0:
+            raise SimulationError("phase durations must be > 0")
+        self.base_rate = float(base_rate)
+        self.burst_rate = float(burst_rate)
+        self.mean_base_duration = float(mean_base_duration)
+        self.mean_burst_duration = float(mean_burst_duration)
+
+    def arrival_times(self, n: int, rng=None) -> np.ndarray:
+        if n < 1:
+            raise SimulationError(f"need n >= 1, got {n}")
+        rng = ensure_rng(rng)
+        times: list[float] = []
+        t = 0.0
+        bursting = False
+        phase_end = rng.exponential(self.mean_base_duration)
+        while len(times) < n:
+            rate = self.burst_rate if bursting else self.base_rate
+            t_next = t + rng.exponential(1.0 / rate)
+            if t_next >= phase_end:
+                # Phase flips; restart the draw from the boundary (the
+                # exponential's memorylessness makes this exact).
+                t = phase_end
+                bursting = not bursting
+                phase_end = t + rng.exponential(
+                    self.mean_burst_duration if bursting else self.mean_base_duration
+                )
+                continue
+            t = t_next
+            times.append(t)
+        return np.asarray(times)
+
+
+class ClosedWorkload(Workload):
+    """Fixed client population with exponential think times.
+
+    Arrival generation needs the (unknown) response time; a configurable
+    ``expected_cycle`` approximates one client's submit→response→think
+    round trip.  :meth:`calibrate` refines it from a measured mean
+    response time — the fixed-point iteration used by the eDiaMoND
+    scenario setup.
+    """
+
+    def __init__(self, n_clients: int, think_time: float, expected_cycle: "float | None" = None):
+        if n_clients < 1:
+            raise SimulationError(f"need >= 1 client, got {n_clients}")
+        if not think_time > 0:
+            raise SimulationError(f"think_time must be > 0, got {think_time}")
+        self.n_clients = int(n_clients)
+        self.think_time = float(think_time)
+        self.expected_cycle = float(expected_cycle) if expected_cycle else self.think_time
+
+    def calibrate(self, mean_response_time: float) -> "ClosedWorkload":
+        """Return a copy whose cycle includes the measured response time."""
+        if not mean_response_time >= 0:
+            raise SimulationError("mean_response_time must be >= 0")
+        return ClosedWorkload(
+            self.n_clients, self.think_time, self.think_time + mean_response_time
+        )
+
+    def arrival_times(self, n: int, rng=None) -> np.ndarray:
+        if n < 1:
+            raise SimulationError(f"need n >= 1, got {n}")
+        rng = ensure_rng(rng)
+        # Each client's k-th submission ≈ sum of k exponential cycles.
+        per_client = int(np.ceil(n / self.n_clients))
+        times = []
+        for _ in range(self.n_clients):
+            gaps = rng.exponential(self.expected_cycle, size=per_client)
+            times.append(np.cumsum(gaps))
+        merged = np.sort(np.concatenate(times))[:n]
+        return merged
+
+
+def calibrate_closed_workload(
+    environment,
+    workload: ClosedWorkload,
+    n_probe: int = 150,
+    iterations: int = 3,
+    rng=None,
+) -> ClosedWorkload:
+    """Fixed-point calibration of a closed workload against an environment.
+
+    A closed workload's inter-arrival cycle includes the response time it
+    itself produces; iterate: simulate with the current cycle estimate,
+    measure the mean response, fold it back in.  A few iterations settle
+    for stable systems (asserted by the tests).
+    """
+    import dataclasses
+
+    from repro.utils.rng import ensure_rng
+
+    if iterations < 1:
+        raise SimulationError("need >= 1 calibration iteration")
+    rng = ensure_rng(rng)
+    current = workload
+    for _ in range(iterations):
+        probe_env = dataclasses.replace(environment, workload=current)
+        data = probe_env.simulate(n_probe, rng)
+        mean_response = float(np.mean(data[probe_env.response]))
+        current = current.calibrate(mean_response)
+    return current

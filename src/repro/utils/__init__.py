@@ -1,0 +1,15 @@
+"""Shared utilities: RNG plumbing, timers, statistics and validation."""
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.timing import Timer, timed
+from repro.utils.validation import require, require_type, require_positive
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rngs",
+    "Timer",
+    "timed",
+    "require",
+    "require_type",
+    "require_positive",
+]

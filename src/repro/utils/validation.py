@@ -1,0 +1,25 @@
+"""Small argument-validation helpers used across the library."""
+
+from __future__ import annotations
+
+from typing import Any, Type
+
+
+def require(condition: bool, message: str, exc: Type[Exception] = ValueError) -> None:
+    """Raise ``exc(message)`` unless ``condition`` holds."""
+    if not condition:
+        raise exc(message)
+
+
+def require_type(value: Any, types: "type | tuple[type, ...]", name: str) -> None:
+    """Raise :class:`TypeError` unless ``value`` is an instance of ``types``."""
+    if not isinstance(value, types):
+        raise TypeError(f"{name} must be {types}, got {type(value)!r}")
+
+
+def require_positive(value: float, name: str, strict: bool = True) -> None:
+    """Raise :class:`ValueError` unless ``value`` is (strictly) positive."""
+    if strict and not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    if not strict and not value >= 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")

@@ -1,0 +1,58 @@
+"""Workflow algebra and its two knowledge extractions.
+
+A workflow is a composition of the paper's four constructs — sequence,
+parallel, choice, loop (Section 3.3, after Cardoso et al.) — over named
+service activities.  Two pieces of domain knowledge are derived from it:
+
+1. the deterministic response-time function ``f(X)`` that parameterizes
+   the Eq.-4 CPD of the response node (:mod:`repro.workflow.response_time`);
+2. the KERT-BN DAG structure — immediate-upstream edges between service
+   nodes plus resource-sharing nodes (:mod:`repro.workflow.structure`).
+"""
+
+from repro.workflow.constructs import (
+    WorkflowNode,
+    Activity,
+    Sequence,
+    Parallel,
+    Choice,
+    Loop,
+)
+from repro.workflow.expressions import (
+    Expression,
+    Var,
+    Const,
+    Sum,
+    Max,
+    WeightedSum,
+    Scale,
+)
+from repro.workflow.response_time import ResponseTimeFunction, response_time_function
+from repro.workflow.timeout import timeout_count_function
+from repro.workflow.structure import workflow_edges, kert_bn_structure
+from repro.workflow.generator import random_workflow
+from repro.workflow.parser import workflow_to_dict, workflow_from_dict
+
+__all__ = [
+    "WorkflowNode",
+    "Activity",
+    "Sequence",
+    "Parallel",
+    "Choice",
+    "Loop",
+    "Expression",
+    "Var",
+    "Const",
+    "Sum",
+    "Max",
+    "WeightedSum",
+    "Scale",
+    "ResponseTimeFunction",
+    "response_time_function",
+    "timeout_count_function",
+    "workflow_edges",
+    "kert_bn_structure",
+    "random_workflow",
+    "workflow_to_dict",
+    "workflow_from_dict",
+]

@@ -1,0 +1,211 @@
+"""Vectorized expression trees over named variables.
+
+The Cardoso reduction of a workflow produces one of these trees; it is
+the deterministic ``f`` of the paper's Eq. 4.  Expressions are callables
+mapping ``{name: (n,) ndarray}`` to an ``(n,)`` ndarray, so evaluating
+``f`` over a whole monitoring window is a handful of NumPy ufunc calls —
+no per-row Python loop.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.exceptions import WorkflowError
+
+
+class Expression(abc.ABC):
+    """A deterministic function of named variables."""
+
+    @property
+    @abc.abstractmethod
+    def inputs(self) -> frozenset[str]:
+        """Names of the variables the expression reads."""
+
+    @abc.abstractmethod
+    def __call__(self, values: Mapping[str, np.ndarray]) -> np.ndarray:
+        """Vectorized evaluation."""
+
+    @abc.abstractmethod
+    def to_string(self) -> str:
+        """Human-readable form, e.g. ``X1 + max(X2, X3)``."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}<{self.to_string()}>"
+
+    # Operator sugar keeps hand-built expressions in tests readable.
+    def __add__(self, other: "Expression") -> "Sum":
+        return Sum([self, other])
+
+
+def _as_array(values: Mapping[str, np.ndarray], name: str) -> np.ndarray:
+    if name not in values:
+        raise WorkflowError(f"expression input {name!r} missing from values")
+    return np.asarray(values[name], dtype=float)
+
+
+class Var(Expression):
+    """A single named variable."""
+
+    def __init__(self, name: str):
+        self.name = str(name)
+
+    @property
+    def inputs(self) -> frozenset[str]:
+        return frozenset([self.name])
+
+    def __call__(self, values: Mapping[str, np.ndarray]) -> np.ndarray:
+        return _as_array(values, self.name)
+
+    def to_string(self) -> str:
+        return self.name
+
+
+class Const(Expression):
+    """A constant (broadcast to the evaluation length)."""
+
+    def __init__(self, value: float):
+        self.value = float(value)
+
+    @property
+    def inputs(self) -> frozenset[str]:
+        return frozenset()
+
+    def __call__(self, values: Mapping[str, np.ndarray]) -> np.ndarray:
+        lengths = {np.asarray(v).shape[0] for v in values.values()} or {1}
+        n = max(lengths)
+        return np.full(n, self.value)
+
+    def to_string(self) -> str:
+        return f"{self.value:g}"
+
+
+class Sum(Expression):
+    """Sum of sub-expressions — sequential composition."""
+
+    def __init__(self, terms: Iterable[Expression]):
+        self.terms = tuple(terms)
+        if not self.terms:
+            raise WorkflowError("Sum needs at least one term")
+
+    @property
+    def inputs(self) -> frozenset[str]:
+        return frozenset().union(*(t.inputs for t in self.terms))
+
+    def __call__(self, values: Mapping[str, np.ndarray]) -> np.ndarray:
+        total = self.terms[0](values)
+        for t in self.terms[1:]:
+            total = total + t(values)
+        return total
+
+    def to_string(self) -> str:
+        return " + ".join(
+            t.to_string() if not isinstance(t, WeightedSum) else f"({t.to_string()})"
+            for t in self.terms
+        )
+
+
+class Max(Expression):
+    """Maximum of sub-expressions — parallel (AND-join) composition."""
+
+    def __init__(self, terms: Iterable[Expression]):
+        self.terms = tuple(terms)
+        if len(self.terms) < 2:
+            raise WorkflowError("Max needs at least two terms")
+
+    @property
+    def inputs(self) -> frozenset[str]:
+        return frozenset().union(*(t.inputs for t in self.terms))
+
+    def __call__(self, values: Mapping[str, np.ndarray]) -> np.ndarray:
+        result = self.terms[0](values)
+        for t in self.terms[1:]:
+            result = np.maximum(result, t(values))
+        return result
+
+    def to_string(self) -> str:
+        return "max(" + ", ".join(t.to_string() for t in self.terms) + ")"
+
+
+class WeightedSum(Expression):
+    """Probability-weighted sum — choice composition in expectation mode."""
+
+    def __init__(self, weighted_terms: Iterable[tuple[float, Expression]]):
+        self.weighted_terms: tuple[tuple[float, Expression], ...] = tuple(
+            (float(w), t) for w, t in weighted_terms
+        )
+        if not self.weighted_terms:
+            raise WorkflowError("WeightedSum needs at least one term")
+        if any(w < 0 for w, _ in self.weighted_terms):
+            raise WorkflowError("WeightedSum weights must be nonnegative")
+
+    @property
+    def inputs(self) -> frozenset[str]:
+        return frozenset().union(*(t.inputs for _, t in self.weighted_terms))
+
+    def __call__(self, values: Mapping[str, np.ndarray]) -> np.ndarray:
+        w0, t0 = self.weighted_terms[0]
+        total = w0 * t0(values)
+        for w, t in self.weighted_terms[1:]:
+            total = total + w * t(values)
+        return total
+
+    def to_string(self) -> str:
+        return " + ".join(f"{w:g}*({t.to_string()})" for w, t in self.weighted_terms)
+
+
+class Scale(Expression):
+    """Scalar multiple — loop composition (expected iteration count)."""
+
+    def __init__(self, factor: float, term: Expression):
+        self.factor = float(factor)
+        self.term = term
+        if self.factor < 0:
+            raise WorkflowError("Scale factor must be nonnegative")
+
+    @property
+    def inputs(self) -> frozenset[str]:
+        return self.term.inputs
+
+    def __call__(self, values: Mapping[str, np.ndarray]) -> np.ndarray:
+        return self.factor * self.term(values)
+
+    def to_string(self) -> str:
+        return f"{self.factor:g}*({self.term.to_string()})"
+
+
+def simplify(expr: Expression) -> Expression:
+    """Flatten nested Sums/Maxes and collapse single-child wrappers.
+
+    Keeps the printable form close to the paper's
+    ``X1 + X2 + max(X3 + X5, X4 + X6)``.
+    """
+    if isinstance(expr, Sum):
+        flat: list[Expression] = []
+        for t in (simplify(t) for t in expr.terms):
+            if isinstance(t, Sum):
+                flat.extend(t.terms)
+            else:
+                flat.append(t)
+        return flat[0] if len(flat) == 1 else Sum(flat)
+    if isinstance(expr, Max):
+        flat = []
+        for t in (simplify(t) for t in expr.terms):
+            if isinstance(t, Max):
+                flat.extend(t.terms)
+            else:
+                flat.append(t)
+        return flat[0] if len(flat) == 1 else Max(flat)
+    if isinstance(expr, Scale):
+        inner = simplify(expr.term)
+        if expr.factor == 1.0:
+            return inner
+        if isinstance(inner, Scale):
+            return Scale(expr.factor * inner.factor, inner.term)
+        return Scale(expr.factor, inner)
+    if isinstance(expr, WeightedSum):
+        return WeightedSum([(w, simplify(t)) for w, t in expr.weighted_terms])
+    return expr

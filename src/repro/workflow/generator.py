@@ -1,0 +1,81 @@
+"""Random workflow generation for the simulation studies.
+
+The Figure 3–5 experiments run over "simulated services … assembled
+together by different workflows".  :func:`random_workflow` produces a
+random composition of the four constructs over exactly ``n`` uniquely
+named services, with knobs for branching factor and which constructs are
+allowed (the evaluation figures use sequence/parallel shapes, matching
+the paper's response-time algebra of sums and maxes).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import WorkflowError
+from repro.utils.rng import ensure_rng
+from repro.workflow.constructs import (
+    Activity,
+    Choice,
+    Loop,
+    Parallel,
+    Sequence,
+    WorkflowNode,
+)
+
+
+def random_workflow(
+    n_services: int,
+    rng=None,
+    service_prefix: str = "X",
+    start_index: int = 1,
+    p_parallel: float = 0.35,
+    p_choice: float = 0.0,
+    p_loop: float = 0.0,
+    max_branches: int = 3,
+    loop_continue_prob: float = 0.3,
+) -> WorkflowNode:
+    """Generate a random workflow over ``n_services`` named services.
+
+    Services are named ``{service_prefix}{start_index}`` …; the recursive
+    splitter partitions the name pool and chooses a construct for each
+    composite node: Parallel with ``p_parallel``, Choice with
+    ``p_choice``, Loop wrapping with ``p_loop``, Sequence otherwise.
+    """
+    if n_services < 1:
+        raise WorkflowError(f"need >= 1 service, got {n_services}")
+    if p_parallel + p_choice > 1.0:
+        raise WorkflowError("p_parallel + p_choice must be <= 1")
+    rng = ensure_rng(rng)
+    names = [f"{service_prefix}{start_index + i}" for i in range(n_services)]
+
+    def build(pool: list[str]) -> WorkflowNode:
+        if len(pool) == 1:
+            node: WorkflowNode = Activity(pool[0])
+        else:
+            n_parts = int(rng.integers(2, min(max_branches, len(pool)) + 1))
+            # Random composition split preserving order.
+            cuts = np.sort(
+                rng.choice(np.arange(1, len(pool)), size=n_parts - 1, replace=False)
+            )
+            parts = [
+                pool[int(a):int(b)]
+                for a, b in zip(np.concatenate([[0], cuts]),
+                                np.concatenate([cuts, [len(pool)]]))
+            ]
+            subtrees = [build(p) for p in parts]
+            u = rng.random()
+            if u < p_parallel and len(subtrees) >= 2:
+                node = Parallel(subtrees)
+            elif u < p_parallel + p_choice and len(subtrees) >= 2:
+                probs = rng.dirichlet(np.ones(len(subtrees)))
+                node = Choice(subtrees, probs.tolist())
+            else:
+                node = Sequence(subtrees)
+        if p_loop > 0 and rng.random() < p_loop:
+            node = Loop(node, loop_continue_prob)
+        return node
+
+    workflow = build(names)
+    workflow.validate()
+    return workflow

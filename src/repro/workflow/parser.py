@@ -1,0 +1,91 @@
+"""JSON-friendly (de)serialization of workflow ASTs.
+
+Workflows are "well documented at system design stage" (Section 3.2) —
+in practice they arrive as documents.  These functions define the
+interchange format:
+
+.. code-block:: json
+
+    {"sequence": [
+        {"activity": "image_list"},
+        {"activity": "work_list"},
+        {"parallel": [
+            {"sequence": [{"activity": "loc_l"}, {"activity": "dai_l"}]},
+            {"sequence": [{"activity": "loc_r"}, {"activity": "dai_r"}]}
+        ]}
+    ]}
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.exceptions import WorkflowError
+from repro.workflow.constructs import (
+    Activity,
+    Choice,
+    Loop,
+    Parallel,
+    Sequence,
+    WorkflowNode,
+)
+
+
+def workflow_to_dict(node: WorkflowNode) -> dict[str, Any]:
+    """AST → plain dict (JSON-serializable)."""
+    if isinstance(node, Activity):
+        return {"activity": node.name}
+    if isinstance(node, Sequence):
+        return {"sequence": [workflow_to_dict(s) for s in node.steps]}
+    if isinstance(node, Parallel):
+        return {"parallel": [workflow_to_dict(b) for b in node.branches]}
+    if isinstance(node, Choice):
+        return {
+            "choice": [workflow_to_dict(b) for b in node.branches],
+            "probabilities": list(node.probabilities),
+        }
+    if isinstance(node, Loop):
+        return {
+            "loop": workflow_to_dict(node.body),
+            "continue_prob": node.continue_prob,
+        }
+    raise WorkflowError(f"unknown workflow node {type(node)!r}")
+
+
+def workflow_from_dict(spec: "dict[str, Any]") -> WorkflowNode:
+    """Plain dict → AST, validating as it goes."""
+    if not isinstance(spec, dict):
+        raise WorkflowError(f"workflow spec must be a dict, got {type(spec)!r}")
+    kinds = [k for k in ("activity", "sequence", "parallel", "choice", "loop") if k in spec]
+    if len(kinds) != 1:
+        raise WorkflowError(
+            f"spec must contain exactly one construct key, got {sorted(spec)}"
+        )
+    kind = kinds[0]
+    if kind == "activity":
+        return Activity(spec["activity"])
+    if kind == "sequence":
+        return Sequence([workflow_from_dict(s) for s in spec["sequence"]])
+    if kind == "parallel":
+        return Parallel([workflow_from_dict(b) for b in spec["parallel"]])
+    if kind == "choice":
+        if "probabilities" not in spec:
+            raise WorkflowError("choice spec needs 'probabilities'")
+        return Choice(
+            [workflow_from_dict(b) for b in spec["choice"]],
+            spec["probabilities"],
+        )
+    if "continue_prob" not in spec:
+        raise WorkflowError("loop spec needs 'continue_prob'")
+    return Loop(workflow_from_dict(spec["loop"]), spec["continue_prob"])
+
+
+def workflow_to_json(node: WorkflowNode, indent: "int | None" = None) -> str:
+    """AST → JSON string."""
+    return json.dumps(workflow_to_dict(node), indent=indent)
+
+
+def workflow_from_json(text: str) -> WorkflowNode:
+    """JSON string → AST."""
+    return workflow_from_dict(json.loads(text))

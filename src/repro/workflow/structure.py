@@ -1,0 +1,140 @@
+"""Workflow → KERT-BN structure derivation (Section 3.2).
+
+Two knowledge sources shape the DAG:
+
+1. **Workflow** — an edge ``X_i → X_j`` whenever service *i* is the
+   *immediate upstream* service of *j*: a burst at *i* propagates to
+   *j*'s input, the "bottleneck shift" phenomenon the paper wants the
+   model to capture.  Only direct relationships are encoded — the paper
+   explicitly keeps "the simplest DAG representing the workflow".
+2. **Resource sharing** — services sharing a CPU / memory / network are
+   made parents of an explicit node embodying that resource.
+
+The response node ``D`` depends on *all* elapsed-time nodes:
+``P_D(D | Φ(D)) ≡ P_D(D | X)``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.bn.dag import DAG
+from repro.exceptions import WorkflowError
+from repro.workflow.constructs import (
+    Activity,
+    Choice,
+    Loop,
+    Parallel,
+    Sequence,
+    WorkflowNode,
+)
+
+
+def _entries(node: WorkflowNode) -> tuple[str, ...]:
+    """Services that receive the incoming request of this subtree."""
+    if isinstance(node, Activity):
+        return (node.name,)
+    if isinstance(node, Sequence):
+        return _entries(node.steps[0])
+    if isinstance(node, (Parallel, Choice)):
+        return tuple(s for b in node.branches for s in _entries(b))
+    if isinstance(node, Loop):
+        return _entries(node.body)
+    raise WorkflowError(f"unknown workflow node {type(node)!r}")
+
+
+def _exits(node: WorkflowNode) -> tuple[str, ...]:
+    """Services whose completion releases this subtree's response."""
+    if isinstance(node, Activity):
+        return (node.name,)
+    if isinstance(node, Sequence):
+        return _exits(node.steps[-1])
+    if isinstance(node, (Parallel, Choice)):
+        return tuple(s for b in node.branches for s in _exits(b))
+    if isinstance(node, Loop):
+        return _exits(node.body)
+    raise WorkflowError(f"unknown workflow node {type(node)!r}")
+
+
+def workflow_edges(workflow: WorkflowNode) -> tuple[tuple[str, str], ...]:
+    """Immediate-upstream edges ``(upstream, downstream)``.
+
+    A loop's internal back edge (exit → entry of the body) is *not*
+    emitted: a Bayesian network must stay acyclic, and within one
+    monitored transaction the iterations are already aggregated into the
+    per-service totals.
+    """
+    workflow.validate()
+    edges: list[tuple[str, str]] = []
+
+    def visit(node: WorkflowNode) -> None:
+        if isinstance(node, Sequence):
+            for step in node.steps:
+                visit(step)
+            for left, right in zip(node.steps, node.steps[1:]):
+                for u in _exits(left):
+                    for v in _entries(right):
+                        edges.append((u, v))
+        elif isinstance(node, (Parallel, Choice)):
+            for b in node.branches:
+                visit(b)
+        elif isinstance(node, Loop):
+            visit(node.body)
+        elif not isinstance(node, Activity):
+            raise WorkflowError(f"unknown workflow node {type(node)!r}")
+
+    visit(workflow)
+    return tuple(edges)
+
+
+def kert_bn_structure(
+    workflow: WorkflowNode,
+    response: str = "D",
+    resource_groups: "Mapping[str, Iterable[str]] | None" = None,
+) -> DAG:
+    """Build the full KERT-BN DAG from domain knowledge alone.
+
+    Parameters
+    ----------
+    workflow:
+        The service workflow (determines the ``X_i → X_j`` edges).
+    response:
+        Name of the end-to-end response node; parents are *all* services.
+    resource_groups:
+        Optional ``{resource_node_name: [services sharing it]}``; each
+        resource becomes a node whose parents are the sharing services
+        (Section 3.2's resource-sharing representation).
+
+    The structural cost is linear in the workflow size — this is the
+    "little cost" structure acquisition the paper contrasts with
+    exponential structure search.
+    """
+    services = workflow.services()
+    if response in services:
+        raise WorkflowError(
+            f"response node name {response!r} collides with a service name"
+        )
+    dag = DAG(nodes=services)
+    for u, v in workflow_edges(workflow):
+        dag.add_edge(u, v)
+    dag.add_node(response)
+    for s in services:
+        dag.add_edge(s, response)
+    if resource_groups:
+        for rnode, members in resource_groups.items():
+            members = tuple(members)
+            if rnode in dag:
+                raise WorkflowError(f"resource node {rnode!r} collides with an existing node")
+            unknown = [m for m in members if m not in services]
+            if unknown:
+                raise WorkflowError(
+                    f"resource group {rnode!r} references unknown services {unknown}"
+                )
+            if len(members) < 2:
+                raise WorkflowError(
+                    f"resource group {rnode!r} must contain >= 2 services"
+                )
+            dag.add_node(rnode)
+            for m in members:
+                dag.add_edge(m, rnode)
+    return dag

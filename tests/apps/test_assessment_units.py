@@ -1,0 +1,104 @@
+"""Unit tests for the moment-propagation internals of RapidAssessor."""
+
+import numpy as np
+import pytest
+
+from repro.apps.assessment import _MomentState, _propagate
+from repro.exceptions import InferenceError
+from repro.workflow.expressions import (
+    Const,
+    Max,
+    Scale,
+    Sum,
+    Var,
+    WeightedSum,
+)
+
+
+def state_2d(m1=1.0, m2=2.0, v1=1.0, v2=4.0, c=0.5):
+    return _MomentState(
+        ["a", "b"], np.array([m1, m2]), np.array([[v1, c], [c, v2]])
+    )
+
+
+def moments(expr, state):
+    idx = _propagate(expr, state)
+    return state.get(idx)
+
+
+def test_var_lookup():
+    s = state_2d()
+    m, v = moments(Var("a"), s)
+    assert (m, v) == (1.0, 1.0)
+    with pytest.raises(InferenceError):
+        _propagate(Var("ghost"), s)
+
+
+def test_const_has_zero_variance():
+    s = state_2d()
+    m, v = moments(Const(7.5), s)
+    assert m == 7.5
+    assert v == 0.0
+
+
+def test_sum_moments_include_covariance():
+    s = state_2d()
+    m, v = moments(Sum([Var("a"), Var("b")]), s)
+    assert m == pytest.approx(3.0)
+    assert v == pytest.approx(1.0 + 4.0 + 2 * 0.5)
+
+
+def test_scale_moments():
+    s = state_2d()
+    m, v = moments(Scale(3.0, Var("b")), s)
+    assert m == pytest.approx(6.0)
+    assert v == pytest.approx(9 * 4.0)
+
+
+def test_weighted_sum_moments():
+    s = state_2d()
+    expr = WeightedSum([(0.25, Var("a")), (0.75, Var("b"))])
+    m, v = moments(expr, s)
+    assert m == pytest.approx(0.25 * 1 + 0.75 * 2)
+    expected_v = (
+        0.0625 * 1.0 + 0.5625 * 4.0 + 2 * 0.25 * 0.75 * 0.5
+    )
+    assert v == pytest.approx(expected_v)
+
+
+def test_sum_of_scaled_var_tracks_covariance_with_itself():
+    """a + 2a must have variance (3σ_a)² = 9, not 1 + 4 = 5."""
+    s = state_2d()
+    expr = Sum([Var("a"), Scale(2.0, Var("a"))])
+    m, v = moments(expr, s)
+    assert m == pytest.approx(3.0)
+    assert v == pytest.approx(9.0)
+
+
+def test_nested_max_in_sum_against_monte_carlo():
+    rng = np.random.default_rng(0)
+    mean = np.array([1.0, 2.0, 0.5])
+    cov = np.array([[1.0, 0.3, 0.0], [0.3, 2.0, 0.1], [0.0, 0.1, 0.5]])
+    expr = Sum([Var("a"), Max([Var("b"), Scale(2.0, Var("c"))])])
+    s = _MomentState(["a", "b", "c"], mean, cov)
+    m, v = moments(expr, s)
+    draws = rng.multivariate_normal(mean, cov, size=400_000)
+    mc = draws[:, 0] + np.maximum(draws[:, 1], 2.0 * draws[:, 2])
+    assert m == pytest.approx(float(mc.mean()), abs=0.01)
+    assert np.sqrt(v) == pytest.approx(float(mc.std()), rel=0.03)
+
+
+def test_expectation_mode_expression_supported_end_to_end():
+    """Choice/Loop expectation-mode expressions propagate too."""
+    expr = Sum(
+        [
+            WeightedSum([(0.3, Var("a")), (0.7, Var("b"))]),
+            Scale(2.5, Var("a")),
+            Const(0.1),
+        ]
+    )
+    s = state_2d()
+    m, v = moments(expr, s)
+    assert np.isfinite(m) and v >= 0
+    # Mean is linear, so exact: 0.3*1 + 0.7*2 + 2.5*1 + 0.1
+    assert m == pytest.approx(0.3 + 1.4 + 2.5 + 0.1)

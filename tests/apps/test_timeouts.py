@@ -1,0 +1,74 @@
+"""Timeout-count metric (the second Eq.-4 metric of Section 3.3)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.timeouts import (
+    default_thresholds_from_trace,
+    timeout_count_dataset,
+    verify_count_identity,
+)
+from repro.exceptions import DataError
+
+
+@pytest.fixture(scope="module")
+def trace(ediamond_env):
+    return ediamond_env.run_transactions(600, rng=71)
+
+
+def test_thresholds_from_trace(trace, ediamond_env):
+    ths = default_thresholds_from_trace(trace, ediamond_env.service_names, 0.9)
+    assert set(ths) == set(ediamond_env.service_names)
+    # ~10% of sub-transactions exceed a 0.9-quantile threshold.
+    for s, h in ths.items():
+        values = np.array([r.elapsed[s] for r in trace])
+        assert np.mean(values > h) == pytest.approx(0.1, abs=0.02)
+    with pytest.raises(DataError):
+        default_thresholds_from_trace(trace, ediamond_env.service_names, 1.5)
+    with pytest.raises(DataError):
+        default_thresholds_from_trace(trace, ["ghost"])
+
+
+def test_count_dataset_shapes(trace, ediamond_env):
+    ths = default_thresholds_from_trace(trace, ediamond_env.service_names)
+    data = timeout_count_dataset(trace, ths, window=20)
+    assert data.n_rows == len(trace) // 20
+    assert set(data.columns) == set(ediamond_env.service_names) | {"D"}
+    # Counts are nonnegative integers bounded by the window size.
+    for s in ediamond_env.service_names:
+        col = data[s]
+        assert np.all(col >= 0) and np.all(col <= 20)
+        assert np.allclose(col, np.round(col))
+
+
+def test_count_identity_d_equals_sum(trace, ediamond_env):
+    """The paper's claim: for timeout counts, f is exactly D = sum X_i."""
+    ths = default_thresholds_from_trace(trace, ediamond_env.service_names)
+    data = timeout_count_dataset(trace, ths, window=10)
+    assert verify_count_identity(data, ediamond_env.workflow)
+
+
+def test_count_dataset_validation(trace):
+    with pytest.raises(DataError):
+        timeout_count_dataset([], {"X1": 1.0})
+    with pytest.raises(DataError):
+        timeout_count_dataset(trace, {"X1": 1.0}, window=0)
+    with pytest.raises(DataError):
+        timeout_count_dataset(trace[:5], {"X1": 1.0}, window=10)
+    with pytest.raises(DataError):
+        timeout_count_dataset(trace, {"D": 1.0})
+
+
+def test_discrete_kertbn_on_counts(trace, ediamond_env):
+    """A KERT-BN over timeout counts with the sum-form f is learnable and
+    fits held-out count data."""
+    from repro.bn.discretize import Discretizer
+    from repro.core.kertbn import build_discrete_kertbn
+
+    ths = default_thresholds_from_trace(trace, ediamond_env.service_names)
+    data = timeout_count_dataset(trace, ths, window=10)
+    train, test = data.split(40)
+    model = build_discrete_kertbn(
+        ediamond_env.workflow, train, n_bins=3
+    )
+    assert np.isfinite(model.log10_likelihood(test))

@@ -1,0 +1,103 @@
+"""Property-based tests on CPD invariants (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bn.cpd import DeterministicCPD, LinearGaussianCPD, TabularCPD
+from repro.bn.data import Dataset
+from repro.bn.learning.mle import fit_linear_gaussian, fit_tabular
+from repro.workflow.expressions import Sum, Var
+
+
+@given(
+    st.integers(min_value=2, max_value=6),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+@settings(max_examples=40, deadline=None)
+def test_random_tabular_cpd_always_normalized(card, seed):
+    rng = np.random.default_rng(seed)
+    cpd = TabularCPD.random("x", card, rng, ("p",), (3,))
+    np.testing.assert_allclose(cpd.values.sum(axis=0), 1.0, atol=1e-12)
+    assert np.all(cpd.values >= 0)
+
+
+@given(
+    st.floats(min_value=0.0, max_value=0.9),
+    st.floats(min_value=0.05, max_value=1.0),
+    st.integers(min_value=2, max_value=9),
+)
+@settings(max_examples=50, deadline=None)
+def test_deterministic_cpd_transition_row_stochastic(leak, decay, n_bins):
+    edges = np.linspace(-0.5, n_bins - 0.5, n_bins + 1)
+    cpd = DeterministicCPD(
+        "d",
+        Sum([Var("a"), Var("b")]),
+        ("a", "b"),
+        {"a": np.array([0.0, 1.0]), "b": np.array([0.0, 1.0])},
+        edges,
+        leak=leak,
+        leak_decay=decay,
+    )
+    t = cpd._transition
+    np.testing.assert_allclose(t.sum(axis=1), 1.0, atol=1e-12)
+    assert np.all(t >= 0)
+    # The hit bin always carries the most mass for leak < 0.5.
+    if leak < 0.5:
+        assert np.all(np.argmax(t, axis=1) == np.arange(n_bins))
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=3), min_size=5, max_size=200),
+    st.floats(min_value=0.0, max_value=5.0),
+)
+@settings(max_examples=50, deadline=None)
+def test_fit_tabular_always_valid(states, alpha):
+    data = Dataset({"x": np.asarray(states)})
+    cpd = fit_tabular(data, "x", 4, alpha=alpha)
+    np.testing.assert_allclose(cpd.values.sum(), 1.0, atol=1e-9)
+    assert np.all(cpd.values >= 0)
+    # With non-degenerate alpha every state keeps support.  (Subnormal
+    # alphas — hypothesis found 1e-323 — underflow to exactly zero after
+    # normalization; that is float arithmetic, not a smoothing bug.)
+    if alpha > 1e-9:
+        assert np.all(cpd.values > 0)
+
+
+@given(
+    st.integers(min_value=2, max_value=400),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+@settings(max_examples=40, deadline=None)
+def test_fit_linear_gaussian_never_degenerate(n, seed):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=n)
+    data = Dataset({"x": x, "p": x + rng.normal(0, 1e-12, size=n)})
+    cpd = fit_linear_gaussian(data, "x", ("p",))
+    assert cpd.variance > 0
+    assert np.isfinite(cpd.coefficients).all()
+    assert np.isfinite(cpd.log_likelihood(data)).all()
+
+
+@given(st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=20, deadline=None)
+def test_tabular_sampling_matches_pmf(seed):
+    rng = np.random.default_rng(seed)
+    cpd = TabularCPD.random("x", 4, rng)
+    draws = cpd.sample({}, 30_000, rng)
+    freq = np.bincount(draws, minlength=4) / 30_000
+    np.testing.assert_allclose(freq, cpd.values, atol=0.02)
+
+
+@given(
+    st.floats(min_value=-5, max_value=5),
+    st.floats(min_value=0.1, max_value=4.0),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+@settings(max_examples=20, deadline=None)
+def test_linear_gaussian_sampling_matches_moments(mu, std, seed):
+    rng = np.random.default_rng(seed)
+    cpd = LinearGaussianCPD("x", mu, (), std * std)
+    draws = cpd.sample({}, 40_000, rng)
+    assert abs(draws.mean() - mu) < 5 * std / np.sqrt(40_000) + 1e-3
+    assert draws.std() == pytest.approx(std, rel=0.05)

@@ -1,0 +1,60 @@
+"""CSV dataset interchange."""
+
+import numpy as np
+import pytest
+
+from repro.bn.csvio import (
+    dataset_from_csv,
+    dataset_from_csv_string,
+    dataset_to_csv,
+    dataset_to_csv_string,
+)
+from repro.bn.data import Dataset
+from repro.exceptions import DataError
+
+
+def test_roundtrip_exact(tmp_path, rng):
+    data = Dataset({"x": rng.normal(size=50), "D": rng.exponential(size=50)})
+    path = str(tmp_path / "d.csv")
+    dataset_to_csv(data, path)
+    loaded = dataset_from_csv(path)
+    assert loaded.columns == data.columns
+    np.testing.assert_array_equal(loaded["x"], data["x"])  # repr() is lossless
+    np.testing.assert_array_equal(loaded["D"], data["D"])
+
+
+def test_nan_cells_roundtrip(rng):
+    col = rng.normal(size=10)
+    col[3] = np.nan
+    text = dataset_to_csv_string(Dataset({"x": col}))
+    assert "nan" in text  # NaN written as a literal, never an empty cell
+    loaded = dataset_from_csv_string(text)
+    assert np.isnan(loaded["x"][3])
+    assert not np.isnan(loaded["x"][[0, 1, 2, 4]]).any()
+
+
+def test_empty_file_rejected():
+    with pytest.raises(DataError):
+        dataset_from_csv_string("")
+    with pytest.raises(DataError):
+        dataset_from_csv_string("a,b\n")  # header only
+
+
+def test_bad_header_rejected():
+    with pytest.raises(DataError):
+        dataset_from_csv_string("a,,c\n1,2,3\n")
+
+
+def test_ragged_row_rejected():
+    with pytest.raises(DataError):
+        dataset_from_csv_string("a,b\n1,2\n3\n")
+
+
+def test_non_numeric_cell_rejected():
+    with pytest.raises(DataError):
+        dataset_from_csv_string("a\nbanana\n")
+
+
+def test_blank_lines_skipped():
+    loaded = dataset_from_csv_string("a,b\n1,2\n\n3,4\n")
+    assert loaded.n_rows == 2

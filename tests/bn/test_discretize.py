@@ -1,0 +1,110 @@
+"""Discretization: binning invariants and inverse maps."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bn.data import Dataset
+from repro.bn.discretize import Discretizer
+from repro.exceptions import DataError
+
+
+def test_constructor_validation():
+    with pytest.raises(DataError):
+        Discretizer(n_bins=1)
+    with pytest.raises(DataError):
+        Discretizer(strategy="kmeans")
+
+
+def test_quantile_bins_roughly_balanced(rng):
+    x = rng.normal(size=10_000)
+    d = Discretizer(n_bins=4).fit(Dataset({"x": x}))
+    t = d.transform(Dataset({"x": x}))
+    counts = np.bincount(t["x"], minlength=4)
+    np.testing.assert_allclose(counts / 10_000, 0.25, atol=0.02)
+
+
+def test_uniform_bins_equal_width(rng):
+    x = rng.uniform(0, 10, size=1000)
+    d = Discretizer(n_bins=5, strategy="uniform").fit(Dataset({"x": x}))
+    widths = np.diff(d.edges("x"))
+    np.testing.assert_allclose(widths, widths[0], rtol=1e-6)
+
+
+def test_transform_unfitted_column_raises(rng):
+    d = Discretizer().fit(Dataset({"x": rng.normal(size=100)}))
+    with pytest.raises(DataError):
+        d.transform(Dataset({"y": rng.normal(size=100)}), ["y"])
+
+
+def test_out_of_range_values_clip_to_edge_bins(rng):
+    x = rng.normal(size=1000)
+    d = Discretizer(n_bins=3).fit(Dataset({"x": x}))
+    t = d.transform(Dataset({"x": np.array([-100.0, 100.0])}))
+    assert t["x"][0] == 0
+    assert t["x"][1] == d.cardinality("x") - 1
+
+
+def test_centers_are_within_edges(rng):
+    x = rng.exponential(size=5000)
+    d = Discretizer(n_bins=5).fit(Dataset({"x": x}))
+    edges = d.edges("x")
+    centers = d.centers("x")
+    for b in range(len(centers)):
+        assert edges[b] <= centers[b] <= edges[b + 1]
+
+
+def test_constant_column_still_yields_two_bins():
+    d = Discretizer(n_bins=5).fit(Dataset({"x": np.full(100, 3.0)}))
+    assert d.cardinality("x") >= 2
+    t = d.transform(Dataset({"x": np.full(10, 3.0)}))
+    assert np.all((0 <= t["x"]) & (t["x"] < d.cardinality("x")))
+
+
+def test_heavy_ties_deduplicate_edges():
+    x = np.concatenate([np.zeros(900), np.linspace(1, 2, 100)])
+    d = Discretizer(n_bins=5).fit(Dataset({"x": x}))
+    assert np.all(np.diff(d.edges("x")) > 0)
+
+
+def test_expectation_and_inverse_value(rng):
+    x = rng.normal(size=2000)
+    d = Discretizer(n_bins=4).fit(Dataset({"x": x}))
+    pmf = np.array([0.25, 0.25, 0.25, 0.25])[: d.cardinality("x")]
+    pmf = pmf / pmf.sum()
+    e = d.expectation("x", pmf)
+    assert d.edges("x")[0] <= e <= d.edges("x")[-1]
+    assert d.inverse_value("x", 0) == d.centers("x")[0]
+    with pytest.raises(DataError):
+        d.inverse_value("x", 99)
+    with pytest.raises(DataError):
+        d.expectation("x", np.ones(17))
+
+
+def test_state_of_matches_transform(rng):
+    x = rng.normal(size=500)
+    d = Discretizer(n_bins=6).fit(Dataset({"x": x}))
+    t = d.transform(Dataset({"x": x}))["x"]
+    for i in [0, 100, 499]:
+        assert d.state_of("x", float(x[i])) == t[i]
+
+
+@given(
+    st.lists(
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        min_size=10,
+        max_size=300,
+    ),
+    st.integers(min_value=2, max_value=8),
+)
+@settings(max_examples=50, deadline=None)
+def test_property_bins_always_in_range(values, n_bins):
+    x = np.asarray(values)
+    d = Discretizer(n_bins=n_bins).fit(Dataset({"x": x}))
+    t = d.transform(Dataset({"x": x}))["x"]
+    assert t.min() >= 0
+    assert t.max() < d.cardinality("x")
+    # Round trip through centers stays inside the observed range (loosely).
+    centers = d.centers("x")
+    assert centers.min() >= x.min() - 1e-6
+    assert centers.max() <= x.max() + 1e-6

@@ -1,0 +1,160 @@
+"""Unit and property tests for discrete factor algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bn.factors import DiscreteFactor
+from repro.exceptions import InferenceError
+
+
+def phi_ab():
+    return DiscreteFactor(["a", "b"], [2, 3], np.arange(6, dtype=float).reshape(2, 3))
+
+
+def test_constructor_validation():
+    with pytest.raises(InferenceError):
+        DiscreteFactor(["a", "a"], [2, 2], np.ones((2, 2)))
+    with pytest.raises(InferenceError):
+        DiscreteFactor(["a"], [2, 3], np.ones(6))
+    with pytest.raises(InferenceError):
+        DiscreteFactor(["a"], [2], np.array([1.0, -0.5]))
+    with pytest.raises(InferenceError):
+        DiscreteFactor(["a"], [0], np.ones(0))
+
+
+def test_reshape_from_flat():
+    f = DiscreteFactor(["a", "b"], [2, 2], np.arange(4, dtype=float))
+    assert f.values.shape == (2, 2)
+
+
+def test_marginalize():
+    f = phi_ab()
+    m = f.marginalize(["b"])
+    assert m.variables == ("a",)
+    np.testing.assert_allclose(m.values, [0 + 1 + 2, 3 + 4 + 5])
+    with pytest.raises(InferenceError):
+        f.marginalize(["zzz"])
+    with pytest.raises(InferenceError):
+        f.marginalize(["a", "b"])
+
+
+def test_reduce():
+    f = phi_ab()
+    r = f.reduce({"b": 1})
+    assert r.variables == ("a",)
+    np.testing.assert_allclose(r.values, [1, 4])
+    with pytest.raises(InferenceError):
+        f.reduce({"b": 5})
+    with pytest.raises(InferenceError):
+        f.reduce({"a": 0, "b": 0})
+    # Irrelevant evidence leaves the factor unchanged.
+    assert f.reduce({"zzz": 0}) is f
+
+
+def test_value_at():
+    f = phi_ab()
+    assert f.value_at({"a": 1, "b": 2}) == 5
+    with pytest.raises(InferenceError):
+        f.value_at({"a": 1})
+
+
+def test_product_disjoint_scopes():
+    fa = DiscreteFactor(["a"], [2], np.array([1.0, 2.0]))
+    fb = DiscreteFactor(["b"], [3], np.array([1.0, 10.0, 100.0]))
+    p = fa.product(fb)
+    assert p.variables == ("a", "b")
+    np.testing.assert_allclose(p.values, [[1, 10, 100], [2, 20, 200]])
+
+
+def test_product_shared_scope_alignment():
+    f1 = phi_ab()
+    f2 = DiscreteFactor(["b", "a"], [3, 2], np.ones((3, 2)) * 2.0)
+    p = f1.product(f2)
+    np.testing.assert_allclose(p.values, f1.values * 2.0)
+
+
+def test_product_cardinality_conflict():
+    f1 = DiscreteFactor(["a"], [2], np.ones(2))
+    f2 = DiscreteFactor(["a"], [3], np.ones(3))
+    with pytest.raises(InferenceError):
+        f1.product(f2)
+
+
+def test_normalize():
+    f = phi_ab()
+    n = f.normalize()
+    assert np.isclose(n.values.sum(), 1.0)
+    zero = DiscreteFactor(["a"], [2], np.zeros(2))
+    with pytest.raises(InferenceError):
+        zero.normalize()
+
+
+def test_permute_roundtrip():
+    f = phi_ab()
+    p = f.permute(["b", "a"])
+    assert p.variables == ("b", "a")
+    assert p.permute(["a", "b"]) == f
+    with pytest.raises(InferenceError):
+        f.permute(["a"])
+
+
+def test_uniform():
+    u = DiscreteFactor.uniform(["a", "b"], [2, 5])
+    assert np.isclose(u.values.sum(), 1.0)
+    assert np.allclose(u.values, u.values.flat[0])
+
+
+# --------------------------------------------------------------------- #
+# Properties
+# --------------------------------------------------------------------- #
+
+
+@st.composite
+def small_factors(draw, variables):
+    cards = [draw(st.integers(min_value=1, max_value=3)) for _ in variables]
+    size = int(np.prod(cards))
+    vals = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+            min_size=size,
+            max_size=size,
+        )
+    )
+    return DiscreteFactor(variables, cards, np.asarray(vals).reshape(cards))
+
+
+@given(small_factors(["a", "b"]), st.data())
+@settings(max_examples=50, deadline=None)
+def test_product_commutes(f, data):
+    g = data.draw(small_factors(["b", "c"]))
+    try:
+        left = f.product(g)
+        right = g.product(f)
+    except InferenceError:
+        return  # cardinality conflict on the shared variable
+    assert left == right
+
+
+@given(small_factors(["a", "b", "c"]))
+@settings(max_examples=50, deadline=None)
+def test_marginalization_order_irrelevant(f):
+    one = f.marginalize(["a"]).marginalize(["b"])
+    both = f.marginalize(["a", "b"])
+    assert one == both
+
+
+@given(small_factors(["a", "b"]))
+@settings(max_examples=50, deadline=None)
+def test_total_mass_preserved_by_marginalization(f):
+    m = f.marginalize(["a"])
+    assert np.isclose(m.values.sum(), f.values.sum())
+
+
+@given(small_factors(["a", "b"]), st.data())
+@settings(max_examples=50, deadline=None)
+def test_reduce_then_marginalize_commute(f, data):
+    state = data.draw(st.integers(min_value=0, max_value=f.cardinality("a") - 1))
+    path1 = f.reduce({"a": state}).values
+    path2 = f.permute(["a", "b"]).values[state]
+    np.testing.assert_allclose(path1, path2)

@@ -1,0 +1,96 @@
+"""Hill-climbing structure search."""
+
+import numpy as np
+import pytest
+
+from repro.bn.dag import DAG
+from repro.bn.data import Dataset
+from repro.bn.learning.hill_climbing import hill_climb
+from repro.bn.learning.k2 import k2_search
+from repro.bn.learning.scores import ScoreCache, gaussian_bic_local
+from repro.exceptions import LearningError
+
+
+def chain_data(n=3000, seed=0):
+    rng = np.random.default_rng(seed)
+    a = rng.normal(size=n)
+    b = 2 * a + rng.normal(0, 0.5, size=n)
+    c = -b + rng.normal(0, 0.5, size=n)
+    return Dataset({"a": a, "b": b, "c": c})
+
+
+def test_recovers_chain_skeleton():
+    data = chain_data()
+    score = ScoreCache(lambda v, ps: gaussian_bic_local(data, v, ps))
+    result = hill_climb(["a", "b", "c"], score)
+    und = {frozenset(e) for e in result.dag.edges}
+    assert frozenset(("a", "b")) in und
+    assert frozenset(("b", "c")) in und
+    assert frozenset(("a", "c")) not in und
+    assert result.n_iterations >= 2
+    assert result.n_score_evaluations > 0
+
+
+def test_score_never_decreases_from_start():
+    data = chain_data(800, seed=1)
+    score = ScoreCache(lambda v, ps: gaussian_bic_local(data, v, ps))
+    empty_score = sum(score(v, ()) for v in ("a", "b", "c"))
+    result = hill_climb(["a", "b", "c"], score)
+    assert result.score >= empty_score
+
+
+def test_matches_or_beats_k2_with_bad_order():
+    data = chain_data(2000, seed=2)
+    score = ScoreCache(lambda v, ps: gaussian_bic_local(data, v, ps))
+    k2 = k2_search(["c", "b", "a"], score, order=["c", "b", "a"])
+    hc = hill_climb(["a", "b", "c"], score)
+    # Hill climbing is not ordering-constrained, so it cannot do worse
+    # than the badly-ordered K2 on this easy problem.
+    assert hc.score >= k2.score - 1e-9
+
+
+def test_max_parents_respected():
+    rng = np.random.default_rng(3)
+    n = 2000
+    cols = {f"p{i}": rng.normal(size=n) for i in range(4)}
+    cols["x"] = sum(cols.values()) + rng.normal(0, 0.1, size=n)
+    data = Dataset(cols)
+    score = ScoreCache(lambda v, ps: gaussian_bic_local(data, v, ps))
+    result = hill_climb(list(cols), score, max_parents=2)
+    assert all(result.dag.in_degree(v) <= 2 for v in result.dag.nodes)
+
+
+def test_start_dag_and_validation():
+    data = chain_data(500, seed=4)
+    score = ScoreCache(lambda v, ps: gaussian_bic_local(data, v, ps))
+    start = DAG(nodes=["a", "b", "c"], edges=[("c", "a")])
+    result = hill_climb(["a", "b", "c"], score, start=start)
+    assert result.dag.n_nodes == 3
+    with pytest.raises(LearningError):
+        hill_climb(["a", "a"], score)
+    with pytest.raises(LearningError):
+        hill_climb(["a", "b"], score, start=DAG(nodes=["x"]))
+
+
+def test_result_is_local_optimum():
+    """No single add/delete move improves the final score."""
+    data = chain_data(1500, seed=5)
+    cache = ScoreCache(lambda v, ps: gaussian_bic_local(data, v, ps))
+    result = hill_climb(["a", "b", "c"], cache)
+    dag = result.dag
+
+    def family(node, parents):
+        return cache(node, parents)
+
+    for u in ("a", "b", "c"):
+        for v in ("a", "b", "c"):
+            if u == v:
+                continue
+            if dag.has_edge(u, v):
+                reduced = tuple(p for p in map(str, dag.parents(v)) if p != u)
+                gain = family(v, reduced) - family(v, tuple(map(str, dag.parents(v))))
+                assert gain <= 1e-9
+            elif not dag.has_path(v, u):
+                grown = tuple(map(str, dag.parents(v))) + (u,)
+                gain = family(v, grown) - family(v, tuple(map(str, dag.parents(v))))
+                assert gain <= 1e-9

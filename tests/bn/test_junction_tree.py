@@ -1,0 +1,121 @@
+"""Junction-tree inference cross-checked against variable elimination."""
+
+import numpy as np
+import pytest
+
+from repro.bn.inference.junction_tree import JunctionTree
+from repro.bn.inference.variable_elimination import query
+from repro.exceptions import InferenceError
+
+from tests.bn.test_inference_ve import random_discrete_net
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3, 4, 5])
+def test_marginals_match_ve(seed):
+    rng = np.random.default_rng(seed)
+    net = random_discrete_net(rng, n_nodes=6)
+    jt = JunctionTree(net)
+    for node in map(str, net.nodes):
+        np.testing.assert_allclose(
+            jt.marginal(node).values,
+            query(net, [node]).values,
+            atol=1e-10,
+        )
+
+
+@pytest.mark.parametrize("seed", [6, 7, 8])
+def test_marginals_with_evidence_match_ve(seed):
+    rng = np.random.default_rng(seed)
+    net = random_discrete_net(rng, n_nodes=6)
+    nodes = [str(n) for n in net.nodes]
+    ev_node = nodes[-1]
+    evidence = {ev_node: 0}
+    jt = JunctionTree(net, evidence)
+    for node in nodes[:-1]:
+        np.testing.assert_allclose(
+            jt.marginal(node).values,
+            query(net, [node], evidence).values,
+            atol=1e-10,
+        )
+
+
+def test_all_marginals_covers_unobserved():
+    rng = np.random.default_rng(9)
+    net = random_discrete_net(rng, n_nodes=5)
+    nodes = [str(n) for n in net.nodes]
+    jt = JunctionTree(net, {nodes[0]: 0})
+    marg = jt.all_marginals()
+    assert set(marg) == set(nodes[1:])
+    for f in marg.values():
+        assert f.values.sum() == pytest.approx(1.0)
+
+
+def test_probability_of_evidence_matches_brute_force():
+    rng = np.random.default_rng(10)
+    net = random_discrete_net(rng, n_nodes=5)
+    nodes = [str(n) for n in net.nodes]
+    evidence = {nodes[0]: 0, nodes[-1]: 1}
+    # Brute force P(evidence) by enumerating the joint.
+    import itertools
+
+    cards = net.cardinalities
+    p_ev = 0.0
+    for assignment in itertools.product(*[range(cards[n]) for n in nodes]):
+        full = dict(zip(nodes, assignment))
+        if any(full[k] != v for k, v in evidence.items()):
+            continue
+        p = 1.0
+        for n in nodes:
+            cpd = net.cpd(n)
+            p *= cpd.prob(full[n], {pa: full[pa] for pa in cpd.parents})
+        p_ev += p
+    jt = JunctionTree(net, evidence)
+    assert jt.log_probability_of_evidence() == pytest.approx(np.log(p_ev))
+
+
+def test_validation():
+    rng = np.random.default_rng(11)
+    net = random_discrete_net(rng, n_nodes=4)
+    nodes = [str(n) for n in net.nodes]
+    with pytest.raises(InferenceError):
+        JunctionTree(net, {"ghost": 0})
+    jt = JunctionTree(net, {nodes[0]: 0})
+    with pytest.raises(InferenceError):
+        jt.marginal(nodes[0])  # observed
+    with pytest.raises(InferenceError):
+        jt.marginal("ghost")
+
+
+def test_impossible_evidence_rejected():
+    from repro.bn.cpd import TabularCPD
+    from repro.bn.dag import DAG
+    from repro.bn.network import DiscreteBayesianNetwork
+
+    dag = DAG(nodes=["a", "b"], edges=[("a", "b")])
+    net = DiscreteBayesianNetwork(
+        dag,
+        [
+            TabularCPD("a", 2, np.array([1.0, 0.0])),
+            TabularCPD("b", 2, np.array([[1.0, 0.5], [0.0, 0.5]]), ("a",), (2,)),
+        ],
+    )
+    with pytest.raises(InferenceError):
+        JunctionTree(net, {"b": 1})
+
+
+def test_ediamond_dcomp_all_marginals(ediamond_discrete_model, ediamond_data):
+    """dComp-style bulk query: all service posteriors in one calibration."""
+    _, test = ediamond_data
+    disc = ediamond_discrete_model.discretizer
+    net = ediamond_discrete_model.network
+    evidence = {
+        "D": disc.state_of("D", float(np.mean(test["D"]))),
+        "X1": disc.state_of("X1", float(np.mean(test["X1"]))),
+    }
+    jt = JunctionTree(net, evidence)
+    marginals = jt.all_marginals()
+    assert set(marginals) == {"X2", "X3", "X4", "X5", "X6"}
+    for node, f in marginals.items():
+        np.testing.assert_allclose(
+            f.values, net.query([node], evidence).values, atol=1e-9
+        )

@@ -1,0 +1,138 @@
+"""Parameter learning: consistency, smoothing, degenerate inputs."""
+
+import numpy as np
+import pytest
+
+from repro.bn.cpd import TabularCPD
+from repro.bn.dag import DAG
+from repro.bn.data import Dataset
+from repro.bn.learning.mle import (
+    fit_discrete_network,
+    fit_gaussian_network,
+    fit_linear_gaussian,
+    fit_tabular,
+)
+from repro.bn.network import DiscreteBayesianNetwork
+from repro.exceptions import LearningError
+
+
+def test_fit_lg_root_node(rng):
+    x = rng.normal(3.0, 2.0, size=50_000)
+    cpd = fit_linear_gaussian(Dataset({"x": x}), "x")
+    assert cpd.intercept == pytest.approx(3.0, abs=0.05)
+    assert cpd.variance == pytest.approx(4.0, rel=0.05)
+
+
+def test_fit_lg_recovers_regression(rng):
+    a = rng.normal(size=50_000)
+    b = rng.normal(size=50_000)
+    x = 1.0 + 2.0 * a - 3.0 * b + rng.normal(0, 0.5, size=50_000)
+    cpd = fit_linear_gaussian(Dataset({"x": x, "a": a, "b": b}), "x", ("a", "b"))
+    assert cpd.intercept == pytest.approx(1.0, abs=0.02)
+    np.testing.assert_allclose(cpd.coefficients, [2.0, -3.0], atol=0.02)
+    assert cpd.variance == pytest.approx(0.25, rel=0.05)
+
+
+def test_fit_lg_collinear_parents_survives(rng):
+    a = rng.normal(size=1000)
+    data = Dataset({"x": 2 * a, "a": a, "b": a.copy()})  # b == a exactly
+    cpd = fit_linear_gaussian(data, "x", ("a", "b"))
+    # Ridge keeps it solvable; combined effect must still be ≈ 2.
+    assert cpd.coefficients.sum() == pytest.approx(2.0, abs=1e-3)
+
+
+def test_fit_lg_constant_column_gets_floor_variance():
+    data = Dataset({"x": np.full(100, 5.0)})
+    cpd = fit_linear_gaussian(data, "x")
+    assert cpd.variance > 0
+
+
+def test_fit_lg_empty_data_raises():
+    with pytest.raises(LearningError):
+        fit_linear_gaussian(Dataset({"x": np.array([])}), "x")
+
+
+def test_fit_tabular_mle_counts():
+    data = Dataset({"x": np.array([0, 0, 1, 1, 1, 1])})
+    cpd = fit_tabular(data, "x", 2, alpha=0.0)
+    np.testing.assert_allclose(cpd.values, [1 / 3, 2 / 3])
+
+
+def test_fit_tabular_laplace_smoothing():
+    data = Dataset({"x": np.array([0, 0])})
+    cpd = fit_tabular(data, "x", 2, alpha=1.0)
+    np.testing.assert_allclose(cpd.values, [3 / 4, 1 / 4])
+
+
+def test_fit_tabular_with_parents_recovers_truth(rng):
+    truth = TabularCPD(
+        "x", 2, np.array([[0.8, 0.3], [0.2, 0.7]]), ("p",), (2,)
+    )
+    p = rng.integers(0, 2, size=100_000)
+    x = truth.sample({"p": p}, 100_000, rng)
+    cpd = fit_tabular(
+        Dataset({"x": x, "p": p}), "x", 2, ("p",), (2,), alpha=0.0
+    )
+    np.testing.assert_allclose(cpd.values, truth.values, atol=0.01)
+
+
+def test_fit_tabular_unseen_config_uniform():
+    data = Dataset({"x": np.array([0, 1]), "p": np.array([0, 0])})
+    cpd = fit_tabular(data, "x", 2, ("p",), (2,), alpha=0.0)
+    np.testing.assert_allclose(cpd.values[:, 1], [0.5, 0.5])
+
+
+def test_fit_tabular_out_of_range_state():
+    with pytest.raises(LearningError):
+        fit_tabular(Dataset({"x": np.array([0, 5])}), "x", 2)
+    with pytest.raises(LearningError):
+        fit_tabular(
+            Dataset({"x": np.array([0]), "p": np.array([7])}), "x", 2, ("p",), (2,)
+        )
+
+
+def test_fit_gaussian_network_end_to_end(chain_gaussian_net, rng):
+    data = chain_gaussian_net.sample(50_000, rng)
+    fitted = fit_gaussian_network(chain_gaussian_net.dag, data)
+    for node in ("a", "b", "c"):
+        truth = chain_gaussian_net.cpd(node)
+        est = fitted.cpd(node)
+        assert est.intercept == pytest.approx(truth.intercept, abs=0.05)
+        np.testing.assert_allclose(est.coefficients, truth.coefficients, atol=0.05)
+        assert est.variance == pytest.approx(truth.variance, rel=0.1)
+
+
+def test_fit_discrete_network_end_to_end(rng):
+    dag = DAG(nodes=["a", "b"], edges=[("a", "b")])
+    truth = DiscreteBayesianNetwork(
+        dag,
+        [
+            TabularCPD("a", 2, np.array([0.3, 0.7])),
+            TabularCPD("b", 3, np.array([[0.5, 0.1], [0.25, 0.2], [0.25, 0.7]]),
+                       ("a",), (2,)),
+        ],
+    )
+    data = truth.sample(100_000, rng)
+    fitted = fit_discrete_network(dag, data, {"a": 2, "b": 3}, alpha=0.0)
+    np.testing.assert_allclose(fitted.cpd("a").values, [0.3, 0.7], atol=0.01)
+    np.testing.assert_allclose(
+        fitted.cpd("b").values, truth.cpd("b").values, atol=0.02
+    )
+
+
+def test_mle_maximizes_likelihood_property(rng):
+    """The MLE fit must out-score any perturbed parameterization."""
+    x = rng.normal(1.0, 1.0, size=2000)
+    data = Dataset({"x": x})
+    mle = fit_linear_gaussian(data, "x")
+    best = mle.log_likelihood(data).sum()
+    for _ in range(10):
+        from repro.bn.cpd import LinearGaussianCPD
+
+        perturbed = LinearGaussianCPD(
+            "x",
+            mle.intercept + rng.normal(0, 0.2),
+            (),
+            mle.variance * np.exp(rng.normal(0, 0.3)),
+        )
+        assert perturbed.log_likelihood(data).sum() <= best + 1e-9

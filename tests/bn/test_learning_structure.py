@@ -1,0 +1,195 @@
+"""Structure learning: scores, K2, exhaustive search."""
+
+import numpy as np
+import pytest
+
+from repro.bn.dag import DAG
+from repro.bn.data import Dataset
+from repro.bn.learning.exhaustive import exhaustive_search
+from repro.bn.learning.k2 import k2_random_restarts, k2_search
+from repro.bn.learning.scores import (
+    ScoreCache,
+    discrete_bic_local,
+    discrete_k2_local,
+    gaussian_bic_local,
+)
+from repro.exceptions import LearningError
+
+
+def chain_data(n=3000, rng=None):
+    rng = rng or np.random.default_rng(0)
+    a = rng.normal(size=n)
+    b = 2 * a + rng.normal(0, 0.5, size=n)
+    c = -b + rng.normal(0, 0.5, size=n)
+    return Dataset({"a": a, "b": b, "c": c})
+
+
+def test_gaussian_bic_prefers_true_parent():
+    data = chain_data()
+    assert gaussian_bic_local(data, "b", ("a",)) > gaussian_bic_local(data, "b", ())
+    assert gaussian_bic_local(data, "c", ("b",)) > gaussian_bic_local(data, "c", ("a",))
+
+
+def test_gaussian_bic_penalizes_spurious_parent(rng):
+    n = 5000
+    x = rng.normal(size=n)
+    noise = rng.normal(size=n)
+    data = Dataset({"x": x, "z": noise})
+    assert gaussian_bic_local(data, "x", ()) > gaussian_bic_local(data, "x", ("z",))
+
+
+def test_gaussian_bic_needs_rows():
+    with pytest.raises(LearningError):
+        gaussian_bic_local(Dataset({"x": np.array([1.0])}), "x", ())
+
+
+def test_discrete_scores_prefer_true_parent(rng):
+    n = 5000
+    p = rng.integers(0, 2, size=n)
+    x = np.where(rng.random(n) < 0.9, p, 1 - p)
+    z = rng.integers(0, 2, size=n)
+    data = Dataset({"p": p, "x": x, "z": z})
+    for score in (discrete_k2_local, discrete_bic_local):
+        with_parent = score(data, "x", 2, ("p",), (2,))
+        without = score(data, "x", 2, (), ())
+        with_noise = score(data, "x", 2, ("z",), (2,))
+        assert with_parent > without
+        assert with_parent > with_noise
+
+
+def test_score_cache_hits():
+    data = chain_data(200)
+    cache = ScoreCache(lambda v, ps: gaussian_bic_local(data, v, ps))
+    s1 = cache("b", ("a",))
+    s2 = cache("b", ("a",))
+    assert s1 == s2
+    assert cache.n_evaluations == 1
+    assert cache.n_hits == 1
+    cache.clear()
+    assert cache.n_evaluations == 0
+
+
+def test_k2_recovers_chain_with_good_order():
+    data = chain_data()
+    score = lambda v, ps: gaussian_bic_local(data, v, ps)
+    result = k2_search(["a", "b", "c"], score, order=["a", "b", "c"])
+    assert set(result.dag.edges) == {("a", "b"), ("b", "c")}
+    assert result.n_score_evaluations > 0
+    assert result.elapsed_seconds >= 0
+
+
+def test_k2_bad_order_still_builds_valid_dag():
+    data = chain_data()
+    score = lambda v, ps: gaussian_bic_local(data, v, ps)
+    result = k2_search(["a", "b", "c"], score, order=["c", "b", "a"])
+    # Edges must respect the ordering: only later nodes get earlier parents.
+    pos = {"c": 0, "b": 1, "a": 2}
+    for u, v in result.dag.edges:
+        assert pos[u] < pos[v]
+
+
+def test_k2_max_parents_cap():
+    rng = np.random.default_rng(4)
+    n = 2000
+    cols = {f"p{i}": rng.normal(size=n) for i in range(4)}
+    cols["x"] = sum(cols.values()) + rng.normal(0, 0.1, size=n)
+    data = Dataset(cols)
+    score = lambda v, ps: gaussian_bic_local(data, v, ps)
+    nodes = [f"p{i}" for i in range(4)] + ["x"]
+    result = k2_search(nodes, score, order=nodes, max_parents=2)
+    assert all(result.dag.in_degree(n) <= 2 for n in result.dag.nodes)
+
+
+def test_k2_order_validation():
+    data = chain_data(100)
+    score = lambda v, ps: gaussian_bic_local(data, v, ps)
+    with pytest.raises(LearningError):
+        k2_search(["a", "b"], score, order=["a", "z"])
+
+
+def test_k2_random_restarts_improves_or_matches_single():
+    data = chain_data(800)
+    score = ScoreCache(lambda v, ps: gaussian_bic_local(data, v, ps))
+    single = k2_search(["c", "a", "b"], score, order=["c", "a", "b"])
+    multi = k2_random_restarts(["a", "b", "c"], score, rng=0, n_restarts=10)
+    assert multi.score >= single.score
+    assert multi.n_restarts == 10
+
+
+def test_k2_random_restarts_time_budget():
+    data = chain_data(200)
+    score = lambda v, ps: gaussian_bic_local(data, v, ps)
+    result = k2_random_restarts(["a", "b", "c"], score, rng=1, time_budget=0.05)
+    assert result.n_restarts >= 1
+    with pytest.raises(LearningError):
+        k2_random_restarts(["a", "b"], score, rng=1)
+
+
+def test_exhaustive_matches_k2_on_easy_chain():
+    data = chain_data()
+    score = ScoreCache(lambda v, ps: gaussian_bic_local(data, v, ps))
+    best_dag, best_score = exhaustive_search(["a", "b", "c"], score)
+    k2 = k2_search(["a", "b", "c"], score, order=["a", "b", "c"])
+    assert best_score >= k2.score - 1e-9
+    # The optimum must contain the strong dependencies in some orientation.
+    und = {frozenset(e) for e in best_dag.edges}
+    assert frozenset(("a", "b")) in und
+    assert frozenset(("b", "c")) in und
+
+
+def test_exhaustive_refuses_large_problems():
+    score = lambda v, ps: 0.0
+    with pytest.raises(LearningError):
+        exhaustive_search([f"n{i}" for i in range(9)], score)
+    with pytest.raises(LearningError):
+        exhaustive_search([], score)
+
+
+def test_exhaustive_is_global_optimum_against_random_dags():
+    rng = np.random.default_rng(8)
+    data = chain_data(500, rng)
+    score = ScoreCache(lambda v, ps: gaussian_bic_local(data, v, ps))
+    _, best = exhaustive_search(["a", "b", "c"], score)
+
+    def dag_score(dag):
+        return sum(score(str(n), tuple(map(str, dag.parents(n)))) for n in dag.nodes)
+
+    for _ in range(30):
+        dag = DAG.random(["a", "b", "c"], rng.random(), rng)
+        assert dag_score(dag) <= best + 1e-9
+
+
+def test_bdeu_prefers_true_parent(rng):
+    from repro.bn.learning.scores import discrete_bdeu_local
+
+    n = 5000
+    p = rng.integers(0, 2, size=n)
+    x = np.where(rng.random(n) < 0.9, p, 1 - p)
+    data = Dataset({"p": p, "x": x})
+    assert discrete_bdeu_local(data, "x", 2, ("p",), (2,)) > discrete_bdeu_local(
+        data, "x", 2, (), ()
+    )
+    with pytest.raises(LearningError):
+        discrete_bdeu_local(data, "x", 2, (), (), ess=0.0)
+
+
+def test_bdeu_likelihood_equivalence(rng):
+    """Markov-equivalent DAGs (a->b vs b->a) score identically under
+    BDeu; the K2 metric does not guarantee this."""
+    from repro.bn.learning.scores import discrete_bdeu_local
+
+    n = 777  # odd, unbalanced counts to expose any asymmetry
+    a = rng.integers(0, 3, size=n)
+    b = (a + rng.integers(0, 2, size=n)) % 3
+    data = Dataset({"a": a, "b": b})
+
+    def dag_score(edges):
+        total = 0.0
+        for child, parents in edges.items():
+            pcards = tuple(3 for _ in parents)
+            total += discrete_bdeu_local(data, child, 3, parents, pcards)
+        return total
+
+    forward = dag_score({"a": (), "b": ("a",)})
+    backward = dag_score({"b": (), "a": ("b",)})
+    assert forward == pytest.approx(backward, rel=1e-12)

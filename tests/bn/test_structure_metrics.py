@@ -1,0 +1,67 @@
+"""Structure-comparison metrics."""
+
+import numpy as np
+import pytest
+
+from repro.bn.dag import DAG
+from repro.bn.structure_metrics import compare_structures, knowledge_recovery
+from repro.exceptions import GraphError
+
+
+def test_identical_structures():
+    dag = DAG(nodes=["a", "b", "c"], edges=[("a", "b"), ("b", "c")])
+    cmp = compare_structures(dag, dag.copy())
+    assert cmp.shd == 0
+    assert cmp.skeleton_f1 == 1.0
+    assert cmp.directed_precision == 1.0
+    assert cmp.directed_recall == 1.0
+
+
+def test_reversed_edge_counts_as_misorientation():
+    ref = DAG(nodes=["a", "b"], edges=[("a", "b")])
+    rev = DAG(nodes=["a", "b"], edges=[("b", "a")])
+    cmp = compare_structures(rev, ref)
+    assert cmp.shd == 1
+    assert cmp.skeleton_f1 == 1.0  # skeleton agrees
+    assert cmp.directed_tp == 0
+
+
+def test_missing_and_extra_edges():
+    ref = DAG(nodes=["a", "b", "c"], edges=[("a", "b"), ("b", "c")])
+    learned = DAG(nodes=["a", "b", "c"], edges=[("a", "b"), ("a", "c")])
+    cmp = compare_structures(learned, ref)
+    assert cmp.shd == 2  # one missing (b-c), one extra (a-c)
+    assert cmp.skeleton_tp == 1
+    assert cmp.skeleton_precision == pytest.approx(0.5)
+    assert cmp.skeleton_recall == pytest.approx(0.5)
+
+
+def test_empty_learned_structure():
+    ref = DAG(nodes=["a", "b"], edges=[("a", "b")])
+    empty = DAG(nodes=["a", "b"])
+    cmp = compare_structures(empty, ref)
+    assert cmp.shd == 1
+    assert cmp.skeleton_precision == 1.0  # vacuous
+    assert cmp.skeleton_recall == 0.0
+    assert cmp.skeleton_f1 == 0.0
+
+
+def test_node_set_mismatch_rejected():
+    with pytest.raises(GraphError):
+        compare_structures(DAG(nodes=["a"]), DAG(nodes=["b"]))
+
+
+def test_knowledge_recovery_of_k2_improves_with_data():
+    """More data -> K2's structure gets closer to the workflow truth."""
+    from repro.core.nrtbn import build_continuous_nrtbn
+    from repro.simulator.scenarios.ediamond import ediamond_scenario
+
+    env = ediamond_scenario()
+    small = env.simulate(40, rng=5)
+    large = env.simulate(1500, rng=6)
+    k2_small = build_continuous_nrtbn(small, rng=7).network.dag
+    k2_large = build_continuous_nrtbn(large, rng=8).network.dag
+    r_small = knowledge_recovery(k2_small, env.workflow)
+    r_large = knowledge_recovery(k2_large, env.workflow)
+    assert r_large.skeleton_f1 >= r_small.skeleton_f1
+    assert r_large.skeleton_f1 < 1.0  # and still not perfect — knowledge wins

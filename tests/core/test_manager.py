@@ -1,0 +1,81 @@
+"""AutonomicManager: the closed MAPE loop on a simulated environment."""
+
+import numpy as np
+import pytest
+
+from repro.core.manager import (
+    AutonomicManager,
+    CycleReport,
+    SLAPolicy,
+    inject_degradation,
+)
+from repro.exceptions import ReproError
+from repro.simulator.scenarios.ediamond import ediamond_scenario
+
+
+def test_policy_validation():
+    with pytest.raises(ReproError):
+        SLAPolicy(threshold=0.0, max_violation_prob=0.1)
+    with pytest.raises(ReproError):
+        SLAPolicy(threshold=2.0, max_violation_prob=1.5)
+    with pytest.raises(ReproError):
+        SLAPolicy(threshold=2.0, max_violation_prob=0.1, candidate_speedups=(1.5,))
+    with pytest.raises(ReproError):
+        AutonomicManager(ediamond_scenario(), SLAPolicy(2.0, 0.1), window_points=5)
+
+
+def test_healthy_environment_no_action():
+    env = ediamond_scenario()
+    policy = SLAPolicy(threshold=6.0, max_violation_prob=0.2)
+    mgr = AutonomicManager(env, policy, window_points=200, rng=1)
+    report = mgr.run_cycle()
+    assert isinstance(report, CycleReport)
+    assert not report.acted
+    assert report.violation_prob <= 0.2
+    assert report.model is not None
+
+
+def test_degradation_triggers_remediation():
+    env = ediamond_scenario()
+    inject_degradation(env, "X5", 2.5)
+    policy = SLAPolicy(threshold=3.0, max_violation_prob=0.15)
+    mgr = AutonomicManager(env, policy, window_points=250, rng=2)
+    report = mgr.run_cycle()
+    assert report.acted
+    service, factor = report.action
+    assert service == "X5"  # the degraded service is the one accelerated
+    assert 0 < factor < 1
+    assert report.projected_violation_prob is not None
+    assert report.suspects  # localization evidence recorded
+
+
+def test_remediation_actually_helps():
+    env = ediamond_scenario()
+    inject_degradation(env, "X6", 2.5)
+    policy = SLAPolicy(threshold=3.5, max_violation_prob=0.15)
+    mgr = AutonomicManager(env, policy, window_points=250, rng=3)
+    first = mgr.run_cycle()
+    assert first.acted
+    second = mgr.run_cycle()
+    # After the action, measured violation probability drops.
+    assert second.violation_prob < first.violation_prob
+
+
+def test_run_n_cycles_history():
+    env = ediamond_scenario()
+    policy = SLAPolicy(threshold=6.0, max_violation_prob=0.3)
+    mgr = AutonomicManager(env, policy, window_points=120, rng=4)
+    reports = mgr.run(3)
+    assert len(reports) == 3
+    assert [r.cycle for r in reports] == [0, 1, 2]
+    assert mgr.history == reports
+    with pytest.raises(ReproError):
+        mgr.run(0)
+
+
+def test_inject_degradation_validation():
+    env = ediamond_scenario()
+    with pytest.raises(ReproError):
+        inject_degradation(env, "X1", 0.0)
+    with pytest.raises(ReproError):
+        inject_degradation(env, "ghost", 2.0)

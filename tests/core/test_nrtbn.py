@@ -1,0 +1,79 @@
+"""NRT-BN baseline builders."""
+
+import numpy as np
+import pytest
+
+from repro.core.nrtbn import (
+    build_continuous_nrtbn,
+    build_discrete_nrtbn,
+    build_naive_continuous,
+    naive_structure,
+)
+from repro.exceptions import LearningError
+
+
+def test_continuous_nrtbn_learns_some_structure(ediamond_data):
+    train, test = ediamond_data
+    model = build_continuous_nrtbn(train, rng=0)
+    assert model.network.dag.n_edges > 0
+    assert np.isfinite(model.log10_likelihood(test))
+    assert model.k2 is not None
+    assert model.report.structure_seconds > 0
+    assert model.report.extra["k2_evaluations"] > 0
+
+
+def test_continuous_nrtbn_missing_response_rejected(ediamond_data):
+    train, _ = ediamond_data
+    from repro.bn.data import Dataset
+
+    no_d = train.select([c for c in train.columns if c != "D"])
+    with pytest.raises(LearningError):
+        build_continuous_nrtbn(no_d)
+
+
+def test_nrtbn_random_restarts_score_monotone(ediamond_data):
+    train, _ = ediamond_data
+    small = train.head(150)
+    one = build_continuous_nrtbn(small, rng=1, n_restarts=1)
+    many = build_continuous_nrtbn(small, rng=1, n_restarts=8)
+    assert many.k2.score >= one.k2.score
+    assert many.report.extra["k2_restarts"] == 8
+
+
+def test_nrtbn_max_parents_respected(ediamond_data):
+    train, _ = ediamond_data
+    model = build_continuous_nrtbn(train, rng=2, max_parents=2)
+    assert all(model.network.dag.in_degree(n) <= 2 for n in model.network.dag.nodes)
+
+
+def test_discrete_nrtbn(ediamond_data):
+    train, test = ediamond_data
+    model = build_discrete_nrtbn(train, rng=3, n_bins=4, max_parents=3)
+    assert model.discretizer is not None
+    assert np.isfinite(model.log10_likelihood(test))
+    assert model.report.model_kind == "nrt-bn/discrete"
+
+
+def test_naive_structure_shape():
+    dag = naive_structure(("a", "b", "c"), response="D")
+    assert set(dag.children("D")) == {"a", "b", "c"}
+    assert dag.parents("D") == ()
+
+
+def test_naive_baseline_worse_than_k2(ediamond_data):
+    """Section 4.2: the learning-free naive NRT-BN is even less accurate."""
+    train, test = ediamond_data
+    naive = build_naive_continuous(train)
+    k2 = build_continuous_nrtbn(train, rng=4, n_restarts=3)
+    assert k2.log10_likelihood(test) > naive.log10_likelihood(test)
+
+
+def test_construction_time_split(ediamond_data):
+    train, _ = ediamond_data
+    model = build_continuous_nrtbn(train, rng=5)
+    rep = model.report
+    assert rep.construction_seconds == pytest.approx(
+        rep.structure_seconds + rep.parameter_seconds
+    )
+    # Structure search dominates parameter learning for NRT-BN.
+    assert rep.structure_seconds > rep.parameter_seconds

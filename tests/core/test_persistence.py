@@ -1,0 +1,89 @@
+"""Model bundles: save/load for both families and kinds."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.persistence import (
+    discretizer_from_dict,
+    discretizer_to_dict,
+    load_model,
+    model_from_dict,
+    model_to_dict,
+    save_model,
+)
+from repro.exceptions import DataError
+
+
+def test_discretizer_roundtrip(ediamond_data):
+    from repro.bn.discretize import Discretizer
+
+    train, test = ediamond_data
+    disc = Discretizer(n_bins=4).fit(train)
+    loaded = discretizer_from_dict(
+        json.loads(json.dumps(discretizer_to_dict(disc)))
+    )
+    t1 = disc.transform(test)
+    t2 = loaded.transform(test)
+    for c in t1.columns:
+        np.testing.assert_array_equal(t1[c], t2[c])
+    np.testing.assert_allclose(loaded.centers("D"), disc.centers("D"))
+
+
+def test_continuous_kertbn_bundle_roundtrip(
+    tmp_path, ediamond_continuous_model, ediamond_data
+):
+    _, test = ediamond_data
+    path = str(tmp_path / "kert.json")
+    save_model(ediamond_continuous_model, path)
+    loaded = load_model(path)
+    assert loaded.log10_likelihood(test) == pytest.approx(
+        ediamond_continuous_model.log10_likelihood(test)
+    )
+    assert loaded.f.to_string() == ediamond_continuous_model.f.to_string()
+    assert loaded.report.model_kind == "kert-bn/continuous"
+    # The loaded model remains usable by the apps.
+    from repro.apps.paccel import PAccel
+
+    res = PAccel(loaded).baseline(n_samples=2000, rng=0)
+    assert np.isfinite(res.mean)
+
+
+def test_discrete_kertbn_bundle_roundtrip(
+    tmp_path, ediamond_discrete_model, ediamond_data
+):
+    _, test = ediamond_data
+    path = str(tmp_path / "kertd.json")
+    save_model(ediamond_discrete_model, path)
+    loaded = load_model(path)
+    assert loaded.discretizer is not None
+    assert loaded.log10_likelihood(test) == pytest.approx(
+        ediamond_discrete_model.log10_likelihood(test)
+    )
+
+
+def test_nrtbn_bundle_roundtrip(tmp_path, ediamond_data):
+    from repro.core.nrtbn import build_continuous_nrtbn
+
+    train, test = ediamond_data
+    model = build_continuous_nrtbn(train, rng=0)
+    path = str(tmp_path / "nrt.json")
+    save_model(model, path)
+    loaded = load_model(path)
+    assert loaded.report.model_kind == "nrt-bn/continuous"
+    assert loaded.log10_likelihood(test) == pytest.approx(
+        model.log10_likelihood(test)
+    )
+
+
+def test_unknown_family_rejected():
+    with pytest.raises(DataError):
+        model_from_dict({"family": "martian"})
+
+
+def test_bundle_is_json_clean(ediamond_discrete_model):
+    # Every value must survive strict JSON (no numpy scalars/arrays).
+    text = json.dumps(model_to_dict(ediamond_discrete_model))
+    assert "NaN" not in text
+    json.loads(text)

@@ -1,0 +1,72 @@
+"""SOAP-piggyback distribution (the Section-3.4 communication sketch)."""
+
+import numpy as np
+import pytest
+
+from repro.decentralized.agent import linear_gaussian_fitter
+from repro.decentralized.piggyback import PiggybackDistributor
+from repro.exceptions import LearningError
+
+
+@pytest.fixture(scope="module")
+def service_dag(ediamond_env):
+    dag = ediamond_env.knowledge_structure()
+    return dag.subgraph([n for n in dag.nodes if n != "D"])
+
+
+@pytest.fixture(scope="module")
+def trace(ediamond_env):
+    return ediamond_env.run_transactions(400, rng=81)
+
+
+def test_replay_accumulates_columns(service_dag, trace):
+    result = PiggybackDistributor(service_dag).replay(trace)
+    # Every agent holds its own column...
+    for node in map(str, service_dag.nodes):
+        assert node in result.columns[node]
+        assert len(result.columns[node][node]) == len(trace)
+    # ...and each child received every parent's column.
+    for node in map(str, service_dag.nodes):
+        for p in map(str, service_dag.parents(node)):
+            assert p in result.columns[node]
+
+
+def test_no_dedicated_messages(service_dag, trace):
+    result = PiggybackDistributor(service_dag).replay(trace)
+    assert result.n_dedicated_messages == 0
+    assert result.total_extra_bytes > 0
+    # One piggybacked float per transaction per edge in this workflow.
+    for (p, c), t in result.traffic.items():
+        assert t.n_values == len(trace)
+        assert t.values_per_request == pytest.approx(1.0)
+
+
+def test_learn_from_replay_matches_direct_fit(service_dag, trace, ediamond_env):
+    from repro.bn.learning.mle import fit_linear_gaussian
+    from repro.simulator.traces import trace_to_dataset
+
+    cpds, _ = PiggybackDistributor(service_dag).learn_from_replay(
+        trace, linear_gaussian_fitter()
+    )
+    data = trace_to_dataset(trace, ediamond_env.service_names)
+    for node in map(str, service_dag.nodes):
+        parents = tuple(map(str, service_dag.parents(node)))
+        direct = fit_linear_gaussian(data, node, parents)
+        assert cpds[node] == direct
+
+
+def test_replay_validation(service_dag):
+    with pytest.raises(LearningError):
+        PiggybackDistributor(service_dag).replay([])
+
+
+def test_edge_without_traffic_detected(trace):
+    """If the structure claims an edge that application traffic never
+    exercises, learning must fail loudly rather than silently."""
+    from repro.bn.dag import DAG
+
+    bogus = DAG(nodes=["X1", "ghost"], edges=[("ghost", "X1")])
+    with pytest.raises(LearningError):
+        PiggybackDistributor(bogus).learn_from_replay(
+            trace, linear_gaussian_fitter()
+        )

@@ -1,0 +1,64 @@
+"""Delay distributions: positivity, means, validation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.simulator.delays import (
+    Deterministic,
+    Exponential,
+    Gamma,
+    LogNormal,
+    Shifted,
+    Uniform,
+)
+
+ALL = [
+    Exponential(0.5),
+    LogNormal(0.2, 0.4),
+    Gamma(2.0, 0.1),
+    Uniform(0.1, 0.3),
+    Deterministic(0.25),
+    Shifted(Exponential(0.1), 0.2),
+]
+
+
+@pytest.mark.parametrize("dist", ALL, ids=lambda d: type(d).__name__)
+def test_samples_nonnegative_and_mean_close(dist, rng):
+    samples = dist.sample(rng, size=50_000)
+    assert np.all(samples >= 0)
+    assert np.mean(samples) == pytest.approx(dist.mean, rel=0.05)
+
+
+@pytest.mark.parametrize("dist", ALL, ids=lambda d: type(d).__name__)
+def test_scalar_sample(dist, rng):
+    v = dist.sample(rng)
+    assert float(v) >= 0
+
+
+def test_validation():
+    with pytest.raises(SimulationError):
+        Exponential(0.0)
+    with pytest.raises(SimulationError):
+        LogNormal(-1.0)
+    with pytest.raises(SimulationError):
+        LogNormal(1.0, -0.1)
+    with pytest.raises(SimulationError):
+        Gamma(0, 1)
+    with pytest.raises(SimulationError):
+        Uniform(0.5, 0.2)
+    with pytest.raises(SimulationError):
+        Deterministic(-1)
+    with pytest.raises(SimulationError):
+        Shifted(Exponential(1.0), -0.5)
+
+
+def test_lognormal_mean_formula():
+    d = LogNormal(1.0, 0.5)
+    assert d.mean == pytest.approx(np.exp(0.125))
+
+
+def test_shifted_floor():
+    d = Shifted(Exponential(0.1), 0.5)
+    samples = d.sample(np.random.default_rng(0), size=1000)
+    assert samples.min() >= 0.5

@@ -1,0 +1,231 @@
+"""Discrete-event engine: workflow semantics and queueing invariants."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.simulator.delays import Deterministic, Exponential
+from repro.simulator.engine import Engine
+from repro.simulator.service import Host, ServiceSpec
+from repro.workflow.constructs import (
+    Activity,
+    Choice,
+    Loop,
+    Parallel,
+    Sequence,
+)
+
+
+def specs(*pairs, **kw):
+    return [ServiceSpec(name, Deterministic(v), **kw) for name, v in pairs]
+
+
+def run_one(workflow, services, **kw):
+    eng = Engine(workflow, services, rng=kw.pop("rng", 0), **kw)
+    return eng.run([0.0])[0]
+
+
+def test_sequence_sums_delays():
+    wf = Sequence([Activity("a"), Activity("b")])
+    rec = run_one(wf, specs(("a", 1.0), ("b", 2.0)))
+    assert rec.response_time == pytest.approx(3.0)
+    assert rec.elapsed["a"] == pytest.approx(1.0)
+    assert rec.elapsed["b"] == pytest.approx(2.0)
+
+
+def test_parallel_takes_max():
+    wf = Parallel([Activity("a"), Activity("b")])
+    rec = run_one(wf, specs(("a", 1.0), ("b", 5.0)))
+    assert rec.response_time == pytest.approx(5.0)
+
+
+def test_nested_ediamond_shape():
+    wf = Sequence(
+        [
+            Activity("x1"),
+            Parallel(
+                [
+                    Sequence([Activity("a1"), Activity("a2")]),
+                    Sequence([Activity("b1"), Activity("b2")]),
+                ]
+            ),
+        ]
+    )
+    rec = run_one(
+        wf, specs(("x1", 1.0), ("a1", 1.0), ("a2", 1.0), ("b1", 3.0), ("b2", 4.0))
+    )
+    assert rec.response_time == pytest.approx(1.0 + max(2.0, 7.0))
+
+
+def test_choice_picks_exactly_one_branch():
+    wf = Choice([Activity("a"), Activity("b")], [0.5, 0.5])
+    eng = Engine(wf, specs(("a", 1.0), ("b", 2.0)), rng=3)
+    records = eng.run(np.arange(1, 201, dtype=float) * 100.0)
+    for rec in records:
+        assert len(rec.invocations) == 1
+    taken_a = sum(1 for r in records if "a" in r.invocations)
+    assert 60 < taken_a < 140  # roughly balanced
+
+
+def test_loop_repeats_and_accumulates():
+    wf = Loop(Activity("a"), 0.5)
+    eng = Engine(wf, specs(("a", 1.0)), rng=5)
+    records = eng.run(np.arange(1, 501, dtype=float) * 100.0)
+    iters = np.array([r.invocations["a"] for r in records])
+    assert iters.min() >= 1
+    assert iters.mean() == pytest.approx(2.0, abs=0.25)  # geometric mean 2
+    for r in records:
+        assert r.elapsed["a"] == pytest.approx(r.invocations["a"] * 1.0)
+
+
+def test_response_equals_f_of_elapsed():
+    """The engine's core contract: D == f(X) exactly (no monitoring noise)."""
+    from repro.simulator.scenarios.random_env import random_environment
+    from repro.workflow.response_time import response_time_function
+
+    for seed in (0, 1, 2):
+        env = random_environment(15, rng=seed, measurement_noise=0.0)
+        eng = Engine(env.workflow, env.services, env.hosts,
+                     demand_sigma=0.3, rng=seed + 100)
+        arrivals = np.cumsum(np.random.default_rng(seed).exponential(2.0, size=50))
+        records = eng.run(arrivals)
+        f = response_time_function(env.workflow)
+        for rec in records:
+            x = {s: np.array([rec.elapsed.get(s, 0.0)]) for s in env.service_names}
+            assert rec.response_time == pytest.approx(float(f(x)[0]), rel=1e-9)
+
+
+def test_fifo_queueing_delays_second_request():
+    wf = Activity("a")
+    eng = Engine(wf, specs(("a", 10.0)), rng=0)
+    records = eng.run([0.0, 1.0])
+    # Second request waits until the first finishes at t=10.
+    assert records[0].response_time == pytest.approx(10.0)
+    assert records[1].response_time == pytest.approx(19.0)  # 9 wait + 10 service
+
+
+def test_no_queueing_infinite_server():
+    wf = Activity("a")
+    eng = Engine(wf, [ServiceSpec("a", Deterministic(10.0), queueing=False)], rng=0)
+    records = eng.run([0.0, 1.0])
+    assert records[1].response_time == pytest.approx(10.0)
+
+
+def test_upstream_coupling_adds_term():
+    wf = Sequence([Activity("a"), Activity("b")])
+    services = [
+        ServiceSpec("a", Deterministic(2.0)),
+        ServiceSpec("b", Deterministic(1.0), upstream_coupling=0.5),
+    ]
+    rec = run_one(wf, services)
+    assert rec.elapsed["b"] == pytest.approx(1.0 + 0.5 * 2.0)
+
+
+def test_host_contention_inflates_parallel_jobs():
+    wf = Parallel([Activity("a"), Activity("b")])
+    host = Host("shared", contention=1.0)
+    services = [
+        ServiceSpec("a", Deterministic(4.0), host="shared"),
+        ServiceSpec("b", Deterministic(4.0), host="shared"),
+    ]
+    rec = run_one(wf, services, hosts=[host])
+    # One of the two starts while the other runs -> slowed by (1 + 1*1).
+    assert rec.response_time == pytest.approx(8.0)
+
+
+def test_demand_factor_scales_sensitive_services():
+    wf = Activity("a")
+    services = [ServiceSpec("a", Deterministic(1.0), demand_sensitivity=1.0)]
+    eng = Engine(wf, services, demand_sigma=0.5, rng=7)
+    records = eng.run(np.arange(1, 2001, dtype=float) * 10.0)
+    elapsed = np.array([r.elapsed["a"] for r in records])
+    # lognormal demand -> mean exp(sigma^2/2)
+    assert elapsed.mean() == pytest.approx(np.exp(0.125), rel=0.05)
+    assert elapsed.std() > 0.1
+
+
+def test_engine_validation():
+    wf = Sequence([Activity("a"), Activity("b")])
+    with pytest.raises(SimulationError):
+        Engine(wf, specs(("a", 1.0)))  # missing spec for b
+    with pytest.raises(SimulationError):
+        Engine(wf, specs(("a", 1.0), ("a", 1.0), ("b", 1.0)))  # duplicate
+    eng = Engine(wf, specs(("a", 1.0), ("b", 1.0)))
+    with pytest.raises(SimulationError):
+        eng.run([])
+    with pytest.raises(SimulationError):
+        eng.run([2.0, 1.0])  # unsorted
+    with pytest.raises(SimulationError):
+        eng.run([-1.0])
+
+
+def test_run_is_reproducible():
+    from repro.simulator.scenarios.random_env import random_environment
+
+    env = random_environment(8, rng=1)
+    arrivals = np.arange(1, 51, dtype=float)
+    r1 = Engine(env.workflow, env.services, env.hosts, rng=9).run(arrivals)
+    r2 = Engine(env.workflow, env.services, env.hosts, rng=9).run(arrivals)
+    for a, b in zip(r1, r2):
+        assert a.response_time == pytest.approx(b.response_time)
+        assert a.elapsed == b.elapsed
+
+
+def test_utilization_accounting():
+    wf = Activity("a")
+    eng = Engine(wf, specs(("a", 1.0)), rng=0)
+    eng.run(np.arange(0, 100, 10, dtype=float))
+    util = eng.utilization(horizon=100.0)
+    assert util["a"] == pytest.approx(0.1)
+    with pytest.raises(SimulationError):
+        eng.utilization(0.0)
+
+
+def test_three_branch_parallel():
+    wf = Parallel([Activity("a"), Activity("b"), Activity("c")])
+    rec = run_one(wf, specs(("a", 1.0), ("b", 7.0), ("c", 3.0)))
+    assert rec.response_time == pytest.approx(7.0)
+    assert len(rec.invocations) == 3
+
+
+def test_choice_inside_loop_accumulates_mixed_branches():
+    wf = Loop(Choice([Activity("a"), Activity("b")], [0.5, 0.5]), 0.5)
+    eng = Engine(wf, specs(("a", 1.0), ("b", 2.0)), rng=11)
+    records = eng.run(np.arange(1, 401, dtype=float) * 50.0)
+    multi = [r for r in records if sum(r.invocations.values()) >= 3]
+    assert multi  # geometric loop produces multi-iteration transactions
+    for r in records:
+        expected = r.invocations.get("a", 0) * 1.0 + r.invocations.get("b", 0) * 2.0
+        total = r.elapsed.get("a", 0.0) + r.elapsed.get("b", 0.0)
+        assert total == pytest.approx(expected)
+
+
+def test_host_speed_scales_delay():
+    from repro.simulator.service import Host
+
+    wf = Activity("a")
+    fast = Engine(
+        wf,
+        [ServiceSpec("a", Deterministic(4.0), host="h")],
+        hosts=[Host("h", speed=2.0)],
+        rng=0,
+    )
+    assert fast.run([0.0])[0].response_time == pytest.approx(2.0)
+
+
+def test_sequence_of_parallels():
+    wf = Sequence(
+        [
+            Parallel([Activity("a"), Activity("b")]),
+            Parallel([Activity("c"), Activity("d")]),
+        ]
+    )
+    rec = run_one(wf, specs(("a", 1.0), ("b", 2.0), ("c", 3.0), ("d", 1.0)))
+    assert rec.response_time == pytest.approx(2.0 + 3.0)
+
+
+def test_schedule_into_past_rejected():
+    eng = Engine(Activity("a"), specs(("a", 1.0)), rng=0)
+    eng.now = 100.0
+    with pytest.raises(SimulationError):
+        eng._schedule(50.0, lambda: None)

@@ -1,0 +1,60 @@
+"""Trace analysis report."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataError
+from repro.simulator.report import analyze_trace, format_report
+
+
+@pytest.fixture(scope="module")
+def trace(ediamond_env):
+    return ediamond_env.run_transactions(300, rng=91)
+
+
+def test_report_shapes(trace, ediamond_env):
+    report = analyze_trace(trace, ediamond_env.service_names)
+    assert report.n_transactions == 300
+    assert len(report.services) == 6
+    assert report.mean_response > 0
+    assert report.p95_response >= report.mean_response
+
+
+def test_shares_are_sane(trace, ediamond_env):
+    report = analyze_trace(trace)
+    shares = {s.service: s.share_of_response for s in report.services}
+    # Every observed service contributes something...
+    assert all(v > 0 for v in shares.values())
+    # ...and the DB services (X5/X6) dominate this workload.
+    top = report.sorted_by_share()[0].service
+    assert top in ("X5", "X6")
+    # Shares exceed 1.0 in total (parallel branches overlap) but not 2x.
+    assert 0.9 < sum(shares.values()) < 2.0
+
+
+def test_stats_match_manual(trace):
+    report = analyze_trace(trace, ["X1"])
+    s = report.services[0]
+    elapsed = np.array([r.elapsed["X1"] for r in trace])
+    assert s.mean_elapsed == pytest.approx(float(elapsed.mean()))
+    assert s.p95_elapsed == pytest.approx(float(np.percentile(elapsed, 95)))
+    assert s.n_invocations == len(trace)
+
+
+def test_unobserved_service_zero_row(trace):
+    report = analyze_trace(trace, ["ghost"])
+    s = report.services[0]
+    assert s.n_invocations == 0
+    assert s.share_of_response == 0.0
+
+
+def test_empty_trace_rejected():
+    with pytest.raises(DataError):
+        analyze_trace([])
+
+
+def test_format_report_renders(trace):
+    text = format_report(analyze_trace(trace))
+    assert "transactions: 300" in text
+    assert "X5" in text and "share" in text
+    assert len(text.splitlines()) == 2 + 6

@@ -1,0 +1,158 @@
+"""Trace → dataset conversion, monitoring agents, management server."""
+
+import numpy as np
+import pytest
+
+from repro.bn.data import Dataset
+from repro.exceptions import DataError, SimulationError
+from repro.simulator.engine import TransactionRecord
+from repro.simulator.monitoring import ManagementServer, MonitoringAgent
+from repro.simulator.traces import inject_missing, trace_to_dataset, warmup_filter
+
+
+def records(n=10):
+    out = []
+    for i in range(n):
+        r = TransactionRecord(request_id=i, arrival=float(i))
+        r.completion = i + 2.0
+        r.elapsed = {"a": 1.0 + i * 0.1, "b": 0.5}
+        r.invocations = {"a": 1, "b": 1}
+        out.append(r)
+    return out
+
+
+def test_trace_to_dataset_per_transaction():
+    data = trace_to_dataset(records(), ["a", "b"])
+    assert data.columns == ("a", "b", "D")
+    assert data.n_rows == 10
+    np.testing.assert_allclose(data["D"], 2.0)
+    np.testing.assert_allclose(data["b"], 0.5)
+
+
+def test_trace_to_dataset_zero_fills_untouched_services():
+    data = trace_to_dataset(records(), ["a", "b", "ghost"])
+    np.testing.assert_allclose(data["ghost"], 0.0)
+
+
+def test_trace_to_dataset_noise_perturbs_services_not_response(rng):
+    data = trace_to_dataset(records(), ["a", "b"], measurement_noise=0.1, rng=rng)
+    assert not np.allclose(data["b"], 0.5)
+    np.testing.assert_allclose(data["D"], 2.0)  # response measured at client
+    assert np.all(data["a"] >= 0)
+
+
+def test_trace_to_dataset_window_aggregation():
+    data = trace_to_dataset(
+        records(), ["a", "b"], aggregate="window", t_data=5.0
+    )
+    # completions at 2..11 -> windows [0,5), [5,10), [10,15)
+    assert data.n_rows == 3
+    np.testing.assert_allclose(data["b"], 0.5)
+
+
+def test_trace_to_dataset_validation():
+    with pytest.raises(DataError):
+        trace_to_dataset([], ["a"])
+    with pytest.raises(DataError):
+        trace_to_dataset(records(), ["a", "D"])
+    with pytest.raises(DataError):
+        trace_to_dataset(records(), ["a"], aggregate="bogus")
+    with pytest.raises(DataError):
+        trace_to_dataset(records(), ["a"], aggregate="window")
+
+
+def test_inject_missing_full_and_partial(rng):
+    data = Dataset({"a": np.ones(100), "b": np.ones(100)})
+    full = inject_missing(data, ["a"])
+    assert np.isnan(full["a"]).all()
+    assert not np.isnan(full["b"]).any()
+    part = inject_missing(data, ["a"], fraction=0.5, rng=rng)
+    frac = np.isnan(part["a"]).mean()
+    assert 0.3 < frac < 0.7
+    with pytest.raises(DataError):
+        inject_missing(data, ["zzz"])
+    with pytest.raises(DataError):
+        inject_missing(data, ["a"], fraction=0.0)
+
+
+def test_warmup_filter():
+    rs = records()
+    assert len(warmup_filter(rs, 3)) == 7
+    with pytest.raises(DataError):
+        warmup_filter(rs, 10)
+    with pytest.raises(DataError):
+        warmup_filter(rs, -1)
+
+
+# --------------------------------------------------------------------- #
+# Monitoring agents and the management server
+# --------------------------------------------------------------------- #
+
+
+def test_agent_batches_and_reports(rng):
+    agent = MonitoringAgent(host="h", services=("a",), t_data=10.0)
+    agent.observe(records(), rng)
+    assert agent.pending == 10
+    batch = agent.report()
+    assert len(batch) == 10
+    assert agent.pending == 0
+    assert batch[0].service == "a"
+
+
+def test_agent_reporting_loss(rng):
+    agent = MonitoringAgent(
+        host="h", services=("a",), reporting_loss=0.5
+    )
+    agent.observe(records(1000), rng)
+    assert 350 < agent.pending < 650
+
+
+def test_agent_validation():
+    with pytest.raises(SimulationError):
+        MonitoringAgent(host="h", services=())
+    with pytest.raises(SimulationError):
+        MonitoringAgent(host="h", services=("a",), t_data=0)
+    with pytest.raises(SimulationError):
+        MonitoringAgent(host="h", services=("a",), reporting_loss=1.0)
+
+
+def test_management_server_assembles_complete_rows(rng):
+    rs = records()
+    agent_a = MonitoringAgent(host="h1", services=("a",))
+    agent_b = MonitoringAgent(host="h2", services=("b",))
+    agent_a.observe(rs, rng)
+    agent_b.observe(rs, rng)
+    server = ManagementServer(services=("a", "b"))
+    server.collect(agent_a.report())
+    server.collect(agent_b.report())
+    server.collect_responses(rs)
+    data = server.assemble()
+    assert data.n_rows == 10
+    assert not np.isnan(data.to_array()).any()
+
+
+def test_management_server_missing_reports_become_nan(rng):
+    rs = records()
+    agent_a = MonitoringAgent(host="h1", services=("a",))
+    agent_a.observe(rs, rng)
+    server = ManagementServer(services=("a", "b"))
+    server.collect(agent_a.report())
+    server.collect_responses(rs)
+    data = server.assemble()
+    assert np.isnan(data["b"]).all()
+    with pytest.raises(SimulationError):
+        server.assemble(require_complete=True)
+
+
+def test_management_server_validation(rng):
+    server = ManagementServer(services=("a",))
+    with pytest.raises(SimulationError):
+        ManagementServer(services=("a",), response="a")
+    with pytest.raises(SimulationError):
+        server.assemble()  # nothing collected
+    agent = MonitoringAgent(host="h", services=("a",))
+    agent.observe(records(), rng)
+    bad = agent.report()
+    bad[0] = type(bad[0])(0, "zzz", 1.0, 1.0)
+    with pytest.raises(SimulationError):
+        server.collect(bad)

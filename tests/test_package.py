@@ -1,0 +1,75 @@
+"""Package-level hygiene: exceptions, versioning, public API."""
+
+import importlib
+import inspect
+
+import pytest
+
+import repro
+from repro import exceptions
+
+
+def test_all_exceptions_derive_from_reproerror():
+    members = [
+        obj
+        for _, obj in inspect.getmembers(exceptions, inspect.isclass)
+        if issubclass(obj, Exception) and obj is not exceptions.ReproError
+    ]
+    assert len(members) >= 8
+    for cls in members:
+        assert issubclass(cls, exceptions.ReproError), cls
+
+
+def test_version_matches_pyproject():
+    import os
+    import tomllib
+
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    with open(os.path.join(root, "pyproject.toml"), "rb") as fh:
+        pyproject = tomllib.load(fh)
+    assert repro.__version__ == pyproject["project"]["version"]
+
+
+def test_public_api_importable():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+@pytest.mark.parametrize(
+    "module",
+    [
+        "repro.bn",
+        "repro.bn.inference",
+        "repro.bn.learning",
+        "repro.bn.cpd",
+        "repro.workflow",
+        "repro.simulator",
+        "repro.simulator.scenarios",
+        "repro.core",
+        "repro.decentralized",
+        "repro.apps",
+        "repro.utils",
+        "repro.cli",
+    ],
+)
+def test_subpackage_all_exports_exist(module):
+    mod = importlib.import_module(module)
+    for name in getattr(mod, "__all__", []):
+        assert hasattr(mod, name), f"{module}.{name}"
+
+
+def test_package_doctest():
+    """The quickstart doctest in the package docstring must run."""
+    import doctest
+
+    results = doctest.testmod(repro, verbose=False)
+    assert results.failed == 0
+    assert results.attempted >= 1
+
+
+def test_every_public_module_has_docstring():
+    import pkgutil
+
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        mod = importlib.import_module(info.name)
+        assert mod.__doc__, f"{info.name} lacks a module docstring"

@@ -1,0 +1,104 @@
+"""Random workflow generation and JSON (de)serialization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import WorkflowError
+from repro.workflow.constructs import Activity, Choice, Loop, Parallel, Sequence
+from repro.workflow.generator import random_workflow
+from repro.workflow.parser import (
+    workflow_from_dict,
+    workflow_from_json,
+    workflow_to_dict,
+    workflow_to_json,
+)
+
+
+def test_generator_validation():
+    rng = np.random.default_rng(0)
+    with pytest.raises(WorkflowError):
+        random_workflow(0, rng)
+    with pytest.raises(WorkflowError):
+        random_workflow(5, rng, p_parallel=0.8, p_choice=0.5)
+
+
+def test_generator_exact_service_count():
+    rng = np.random.default_rng(1)
+    for n in (1, 2, 7, 30, 100):
+        wf = random_workflow(n, rng)
+        assert wf.n_services() == n
+        assert len(set(wf.services())) == n
+
+
+def test_generator_service_naming():
+    rng = np.random.default_rng(2)
+    wf = random_workflow(5, rng, service_prefix="S", start_index=10)
+    assert set(wf.services()) == {f"S{i}" for i in range(10, 15)}
+
+
+def test_generator_deterministic_given_seed():
+    w1 = random_workflow(12, np.random.default_rng(9))
+    w2 = random_workflow(12, np.random.default_rng(9))
+    assert w1 == w2
+
+
+def test_generator_produces_parallel_nodes_eventually():
+    rng = np.random.default_rng(3)
+    kinds = set()
+    for _ in range(20):
+        wf = random_workflow(10, rng, p_parallel=0.6)
+        kinds |= {type(n).__name__ for n in wf.walk()}
+    assert "Parallel" in kinds
+
+
+def test_generator_choice_and_loop_constructs():
+    rng = np.random.default_rng(4)
+    kinds = set()
+    for _ in range(30):
+        wf = random_workflow(10, rng, p_choice=0.4, p_loop=0.3, p_parallel=0.2)
+        kinds |= {type(n).__name__ for n in wf.walk()}
+    assert "Choice" in kinds
+    assert "Loop" in kinds
+
+
+# --------------------------------------------------------------------- #
+# Parser
+# --------------------------------------------------------------------- #
+
+
+def test_dict_roundtrip_all_constructs():
+    wf = Sequence(
+        [
+            Activity("a"),
+            Parallel([Activity("b"), Loop(Activity("c"), 0.3)]),
+            Choice([Activity("d"), Activity("e")], [0.4, 0.6]),
+        ]
+    )
+    assert workflow_from_dict(workflow_to_dict(wf)) == wf
+
+
+def test_json_roundtrip():
+    wf = Sequence([Activity("a"), Activity("b")])
+    assert workflow_from_json(workflow_to_json(wf, indent=2)) == wf
+
+
+def test_parser_validation():
+    with pytest.raises(WorkflowError):
+        workflow_from_dict("not-a-dict")
+    with pytest.raises(WorkflowError):
+        workflow_from_dict({})
+    with pytest.raises(WorkflowError):
+        workflow_from_dict({"activity": "a", "sequence": []})
+    with pytest.raises(WorkflowError):
+        workflow_from_dict({"choice": [{"activity": "a"}, {"activity": "b"}]})
+    with pytest.raises(WorkflowError):
+        workflow_from_dict({"loop": {"activity": "a"}})
+
+
+@given(st.integers(min_value=1, max_value=20), st.integers(min_value=0, max_value=10**6))
+@settings(max_examples=50, deadline=None)
+def test_property_roundtrip_random_workflows(n, seed):
+    rng = np.random.default_rng(seed)
+    wf = random_workflow(n, rng, p_choice=0.2, p_loop=0.1)
+    assert workflow_from_json(workflow_to_json(wf)) == wf

@@ -1,0 +1,79 @@
+"""The documented measurement-mode exception: Parallel inside Loop."""
+
+import numpy as np
+import pytest
+
+from repro.workflow.constructs import (
+    Activity,
+    Loop,
+    Parallel,
+    Sequence,
+)
+from repro.workflow.response_time import (
+    has_parallel_under_loop,
+    response_time_function,
+)
+
+
+def test_predicate_positive_cases():
+    assert has_parallel_under_loop(
+        Loop(Parallel([Activity("a"), Activity("b")]), 0.3)
+    )
+    assert has_parallel_under_loop(
+        Loop(Sequence([Activity("x"), Parallel([Activity("a"), Activity("b")])]), 0.3)
+    )
+    # Nested deeper: loop -> loop -> parallel.
+    assert has_parallel_under_loop(
+        Loop(Loop(Parallel([Activity("a"), Activity("b")]), 0.2), 0.2)
+    )
+
+
+def test_predicate_negative_cases():
+    assert not has_parallel_under_loop(Activity("a"))
+    assert not has_parallel_under_loop(
+        Sequence([Loop(Activity("a"), 0.5), Parallel([Activity("b"), Activity("c")])])
+    )
+    assert not has_parallel_under_loop(
+        Parallel([Loop(Activity("a"), 0.5), Activity("b")])
+    )
+
+
+def test_f_lower_bounds_d_for_parallel_in_loop():
+    """Engine D >= f(X) with equality impossible in general: two loop
+    iterations with alternating branch dominance force strict gap."""
+    from repro.simulator.delays import Uniform
+    from repro.simulator.engine import Engine
+    from repro.simulator.service import ServiceSpec
+
+    wf = Loop(Parallel([Activity("a"), Activity("b")]), 0.6)
+    services = [
+        ServiceSpec("a", Uniform(0.5, 1.5), queueing=False),
+        ServiceSpec("b", Uniform(0.5, 1.5), queueing=False),
+    ]
+    engine = Engine(wf, services, rng=3)
+    records = engine.run(np.arange(1, 301, dtype=float) * 10.0)
+    f = response_time_function(wf)
+    gaps = []
+    for r in records:
+        x = {s: np.array([r.elapsed.get(s, 0.0)]) for s in ("a", "b")}
+        fx = float(f(x)[0])
+        assert r.response_time >= fx - 1e-9
+        gaps.append(r.response_time - fx)
+    # Multi-iteration transactions exist and produce strict gaps.
+    assert max(gaps) > 0.01
+
+
+def test_single_iteration_loops_remain_exact():
+    from repro.simulator.delays import Deterministic
+    from repro.simulator.engine import Engine
+    from repro.simulator.service import ServiceSpec
+
+    wf = Loop(Parallel([Activity("a"), Activity("b")]), 0.0)  # never repeats
+    services = [
+        ServiceSpec("a", Deterministic(1.0)),
+        ServiceSpec("b", Deterministic(2.0)),
+    ]
+    records = Engine(wf, services, rng=0).run([0.0])
+    f = response_time_function(wf)
+    x = {s: np.array([records[0].elapsed.get(s, 0.0)]) for s in ("a", "b")}
+    assert records[0].response_time == pytest.approx(float(f(x)[0]))

@@ -1,0 +1,116 @@
+"""Workflow → KERT-BN structure derivation (Section 3.2 / Figure 2)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import WorkflowError
+from repro.workflow.constructs import (
+    Activity,
+    Choice,
+    Loop,
+    Parallel,
+    Sequence,
+)
+from repro.workflow.generator import random_workflow
+from repro.workflow.structure import kert_bn_structure, workflow_edges
+
+
+def ediamond_wf():
+    return Sequence(
+        [
+            Activity("X1"),
+            Activity("X2"),
+            Parallel(
+                [
+                    Sequence([Activity("X3"), Activity("X5")]),
+                    Sequence([Activity("X4"), Activity("X6")]),
+                ]
+            ),
+        ]
+    )
+
+
+def test_ediamond_edges_match_figure_2():
+    edges = set(workflow_edges(ediamond_wf()))
+    assert edges == {
+        ("X1", "X2"),
+        ("X2", "X3"),
+        ("X2", "X4"),
+        ("X3", "X5"),
+        ("X4", "X6"),
+    }
+
+
+def test_kert_structure_d_has_all_services_as_parents():
+    dag = kert_bn_structure(ediamond_wf())
+    assert set(dag.parents("D")) == {"X1", "X2", "X3", "X4", "X5", "X6"}
+    # Plus the five workflow edges.
+    assert dag.n_edges == 6 + 5
+
+
+def test_kert_structure_resource_groups():
+    dag = kert_bn_structure(
+        ediamond_wf(), resource_groups={"R_cpu": ("X1", "X2")}
+    )
+    assert set(dag.parents("R_cpu")) == {"X1", "X2"}
+    assert "R_cpu" not in dag.parents("D")
+
+
+def test_resource_group_validation():
+    with pytest.raises(WorkflowError):
+        kert_bn_structure(ediamond_wf(), resource_groups={"R": ("X1",)})
+    with pytest.raises(WorkflowError):
+        kert_bn_structure(ediamond_wf(), resource_groups={"R": ("X1", "nope")})
+    with pytest.raises(WorkflowError):
+        kert_bn_structure(ediamond_wf(), resource_groups={"X1": ("X1", "X2")})
+
+
+def test_response_name_collision():
+    with pytest.raises(WorkflowError):
+        kert_bn_structure(ediamond_wf(), response="X1")
+
+
+def test_choice_branches_not_cross_linked():
+    wf = Sequence(
+        [Activity("s"), Choice([Activity("a"), Activity("b")], [0.5, 0.5])]
+    )
+    edges = set(workflow_edges(wf))
+    assert edges == {("s", "a"), ("s", "b")}
+
+
+def test_sequence_after_parallel_links_all_exits():
+    wf = Sequence(
+        [Parallel([Activity("a"), Activity("b")]), Activity("join")]
+    )
+    edges = set(workflow_edges(wf))
+    assert edges == {("a", "join"), ("b", "join")}
+
+
+def test_loop_has_no_back_edge():
+    wf = Loop(Sequence([Activity("a"), Activity("b")]), 0.5)
+    edges = set(workflow_edges(wf))
+    assert edges == {("a", "b")}  # no b -> a back edge
+
+
+def test_structure_is_acyclic_for_random_workflows():
+    rng = np.random.default_rng(3)
+    for _ in range(20):
+        wf = random_workflow(int(rng.integers(1, 25)), rng,
+                             p_choice=0.2, p_loop=0.15)
+        dag = kert_bn_structure(wf)
+        order = dag.topological_order()
+        assert len(order) == dag.n_nodes
+        # D is always a sink.
+        assert dag.children("D") == ()
+
+
+def test_structure_cost_linear_smoke():
+    """Knowledge-derived structure must be cheap even for 200 services."""
+    import time
+
+    rng = np.random.default_rng(4)
+    wf = random_workflow(200, rng)
+    t0 = time.perf_counter()
+    dag = kert_bn_structure(wf)
+    assert time.perf_counter() - t0 < 1.0
+    assert dag.n_nodes == 201
