@@ -187,6 +187,16 @@ class RapidAssessor:
         self._names, self._mean, self._cov = joint_gaussian(sub)
         self._response_var = model.network.cpd(model.response).variance
 
+    @property
+    def joint(self) -> "tuple[list[str], np.ndarray, np.ndarray]":
+        """The cached service-layer joint Gaussian ``(names, mean, cov)``.
+
+        Computed once at construction; consumers (e.g. the problem
+        localizer) should read it from here rather than re-deriving the
+        service subnetwork per query.
+        """
+        return self._names, self._mean, self._cov
+
     def assess(
         self, evidence: "Mapping[str, float] | None" = None
     ) -> tuple[float, float]:

@@ -16,7 +16,7 @@ narrower ("more deterministic and precise").
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping
+from typing import Mapping, Sequence
 
 import numpy as np
 
@@ -89,6 +89,52 @@ class DComp:
             f"dComp does not support networks of type {type(network).__name__}"
         )
 
+    def posterior_batch(
+        self,
+        variable: str,
+        observed_means_rows: "Sequence[Mapping[str, float]]",
+    ) -> "list[DCompResult]":
+        """Batched :meth:`posterior` for discrete models.
+
+        All rows must observe the same service set (one compiled
+        signature); the N posteriors are computed in a single vectorized
+        engine pass instead of N elimination sweeps.
+        """
+        network = self.model.network
+        if not isinstance(network, DiscreteBayesianNetwork):
+            raise InferenceError("posterior_batch needs the discrete KERT-BN")
+        if not observed_means_rows:
+            raise InferenceError("need at least one row of observed means")
+        if any(variable in row for row in observed_means_rows):
+            raise InferenceError(f"{variable!r} is listed as observed")
+        disc = self.model.discretizer
+        assert disc is not None
+        evidence_rows = [
+            {name: disc.state_of(name, float(mean)) for name, mean in row.items()}
+            for row in observed_means_rows
+        ]
+        engine = network.compiled()
+        prior = engine.prior(variable).values
+        posteriors = engine.query_batch([variable], evidence_rows)
+        centers = disc.centers(variable)
+        pm, ps = _pmf_stats(prior, centers)
+        results = []
+        for posterior in posteriors:
+            qm, qs = _pmf_stats(posterior, centers)
+            results.append(
+                DCompResult(
+                    variable=variable,
+                    centers=centers,
+                    prior=prior,
+                    posterior=posterior,
+                    prior_mean=pm,
+                    posterior_mean=qm,
+                    prior_std=ps,
+                    posterior_std=qs,
+                )
+            )
+        return results
+
     # ------------------------------------------------------------------ #
 
     def _discrete(self, variable: str, observed_means: Mapping[str, float]) -> DCompResult:
@@ -99,8 +145,11 @@ class DComp:
             name: disc.state_of(name, float(mean))
             for name, mean in observed_means.items()
         }
-        prior = network.query([variable], {}).values
-        posterior = network.query([variable], evidence).values
+        # Compile-once engine: factors/plans are shared across calls and
+        # the evidence-free prior is cached per variable.
+        engine = network.compiled()
+        prior = engine.prior(variable).values
+        posterior = engine.query([variable], evidence).values
         centers = disc.centers(variable)
         pm, ps = _pmf_stats(prior, centers)
         qm, qs = _pmf_stats(posterior, centers)

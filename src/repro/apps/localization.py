@@ -56,11 +56,14 @@ class Suspect:
 class ProblemLocalizer:
     """Rank services by responsibility for a response-time degradation."""
 
-    def __init__(self, model: KERTBN):
+    def __init__(self, model: KERTBN, assessor: "RapidAssessor | None" = None):
         self.model = model
-        self.assessor = RapidAssessor(model)
-        sub = model.network.service_subnetwork()
-        self._names, self._mean, self._cov = sub.to_joint_gaussian()
+        if assessor is not None and assessor.model is not model:
+            raise InferenceError("assessor was built for a different model")
+        self.assessor = assessor if assessor is not None else RapidAssessor(model)
+        # Reuse the assessor's compiled joint Gaussian instead of paying
+        # a second service-subnetwork extraction + moment derivation.
+        self._names, self._mean, self._cov = self.assessor.joint
         self._baseline_d, _ = self.assessor.assess()
 
     @property

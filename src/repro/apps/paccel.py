@@ -13,7 +13,7 @@ gauges the action's benefit.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping
+from typing import Mapping, Sequence
 
 import numpy as np
 
@@ -106,7 +106,7 @@ class PAccel:
             disc = self.model.discretizer
             assert disc is not None
             response = self.model.response
-            pmf = network.query([response], {}).values
+            pmf = network.compiled().prior(response).values
             edges = disc.edges(response)
             centers = disc.centers(response)
             mean = float(np.dot(pmf, centers))
@@ -140,7 +140,8 @@ class PAccel:
             name: disc.state_of(name, float(mean))
             for name, mean in predicted_means.items()
         }
-        pmf = network.query([response], evidence).values
+        # Compiled engine: repeated what-if projections share one plan.
+        pmf = network.compiled().query([response], evidence).values
         centers = disc.centers(response)
         edges = disc.edges(response)
         mean = float(np.dot(pmf, centers))
@@ -148,6 +149,43 @@ class PAccel:
         return PAccelResult(
             evidence=dict(predicted_means), edges=edges, pmf=pmf, mean=mean, std=std
         )
+
+    def project_batch(
+        self, predicted_means_rows: "Sequence[Mapping[str, float]]"
+    ) -> "list[PAccelResult]":
+        """Batched :meth:`project` for discrete models.
+
+        Evaluates N candidate resource actions (all predicting the same
+        service set) in one vectorized engine pass — the manager's
+        candidate-speedup scan without N elimination sweeps.
+        """
+        network = self.model.network
+        if not isinstance(network, DiscreteBayesianNetwork):
+            raise InferenceError("project_batch needs the discrete KERT-BN")
+        if not predicted_means_rows:
+            raise InferenceError("need at least one row of predicted means")
+        response = self.model.response
+        if any(response in row for row in predicted_means_rows):
+            raise InferenceError("cannot condition on the response itself")
+        disc = self.model.discretizer
+        assert disc is not None
+        evidence_rows = [
+            {name: disc.state_of(name, float(mean)) for name, mean in row.items()}
+            for row in predicted_means_rows
+        ]
+        pmfs = network.compiled().query_batch([response], evidence_rows)
+        centers = disc.centers(response)
+        edges = disc.edges(response)
+        results = []
+        for row, pmf in zip(predicted_means_rows, pmfs):
+            mean = float(np.dot(pmf, centers))
+            std = float(np.sqrt(max(np.dot(pmf, (centers - mean) ** 2), 0.0)))
+            results.append(
+                PAccelResult(
+                    evidence=dict(row), edges=edges, pmf=pmf, mean=mean, std=std
+                )
+            )
+        return results
 
     def _hybrid(
         self, predicted_means: Mapping[str, float], n_samples: int, rng

@@ -5,6 +5,8 @@
   the continuous setting).
 - :mod:`repro.bn.inference.variable_elimination` — exact discrete
   inference (the discrete Section-5 models).
+- :mod:`repro.bn.inference.engine` — compile-once engine for repeated /
+  batched queries against a fixed discrete model (the serving hot path).
 - :mod:`repro.bn.inference.sampling` — forward sampling and likelihood
   weighting for networks whose CPDs are not jointly tractable (hybrid
   nets with the nonlinear ``max`` response CPD).
@@ -17,6 +19,7 @@ from repro.bn.inference.gaussian import (
     marginal_gaussian,
 )
 from repro.bn.inference.variable_elimination import query
+from repro.bn.inference.engine import CompiledDiscreteModel
 from repro.bn.inference.junction_tree import JunctionTree
 from repro.bn.inference.sampling import forward_sample, likelihood_weighting
 from repro.bn.inference.likelihood import log10_likelihood, mean_log_likelihood
@@ -26,6 +29,7 @@ __all__ = [
     "condition_gaussian",
     "marginal_gaussian",
     "query",
+    "CompiledDiscreteModel",
     "JunctionTree",
     "forward_sample",
     "likelihood_weighting",

@@ -1,0 +1,400 @@
+"""Compile-once inference engine for discrete networks.
+
+:func:`repro.bn.inference.variable_elimination.query` pays the full
+price on every call: CPD→factor extraction, a min-fill ordering sweep,
+and a chain of Python-level factor products.  That is the right tool for
+one-off queries, but the serving surfaces (dComp, pAccel, problem
+localization, the autonomic-manager loop) fire many queries against the
+*same* model with only the evidence changing — exactly the regime the
+paper targets with cheap model construction.
+
+:class:`CompiledDiscreteModel` amortizes everything that does not depend
+on the evidence *values*:
+
+- CPD factors are extracted once at compile time (``DeterministicCPD``
+  table expansion is the single most expensive step of a scratch query);
+- for every ``(query-variables, evidence-variables)`` signature a
+  :class:`_QueryPlan` is memoized, holding the min-fill elimination
+  order, the factor tables pre-transposed so evidence axes lead, and the
+  ``np.einsum`` subscripts plus a cached contraction path;
+- the actual numerics run through one ``np.einsum`` call per query, so
+  repeated queries cost an advanced-indexing slice and a contraction —
+  no Python factor algebra;
+- :meth:`query_batch` answers N evidence rows in a single vectorized
+  pass by advanced-indexing the evidence axes with index *columns*
+  (adding one batch dimension) instead of reducing factors per row;
+- evidence-free marginals (the dComp/pAccel priors) are cached per
+  variable by :meth:`prior`.
+
+The engine treats the network as immutable — compile a new engine if
+CPDs are refit (network construction already builds fresh objects
+everywhere in this codebase).
+
+Networks whose variable count exceeds the einsum label alphabet fall
+back to a plan-cached elimination sweep over
+:class:`~repro.bn.factors.DiscreteFactor` operations: still compile-once
+(factors + orders memoized), just not single-kernel.
+"""
+
+from __future__ import annotations
+
+import string
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.bn.factors import DiscreteFactor
+from repro.exceptions import InferenceError
+
+#: einsum subscripts offer 52 single-letter labels; one is reserved for
+#: the batch axis of :meth:`CompiledDiscreteModel.query_batch`.
+_MAX_EINSUM_VARS = len(string.ascii_letters) - 1
+_BATCH_LABEL = string.ascii_letters[-1]
+
+
+class _QueryPlan:
+    """Everything reusable across queries sharing one (Q, E) signature."""
+
+    __slots__ = (
+        "variables",
+        "evidence_vars",
+        "elimination_order",
+        "operands",
+        "subscripts_single",
+        "subscripts_batch",
+        "path_single",
+        "path_batch",
+        "out_shape",
+    )
+
+    def __init__(self, variables, evidence_vars, elimination_order, operands, subscripts_single, subscripts_batch, out_shape):
+        self.variables = variables                  # query scope, in request order
+        self.evidence_vars = evidence_vars          # tuple, fixed order for row columns
+        self.elimination_order = elimination_order  # memoized min-fill order
+        self.operands = operands                    # list[(values, ev_vars, free_vars)]
+        self.subscripts_single = subscripts_single
+        self.subscripts_batch = subscripts_batch
+        self.path_single = None                     # cached einsum contraction paths
+        self.path_batch = None
+        self.out_shape = out_shape
+
+
+class CompiledDiscreteModel:
+    """A :class:`DiscreteBayesianNetwork` compiled for repeated queries."""
+
+    def __init__(self, network):
+        from repro.bn.inference.variable_elimination import _network_factors
+
+        self._nodes: tuple[str, ...] = tuple(map(str, network.nodes))
+        self._cards: dict[str, int] = dict(network.cardinalities)
+        self._factors: tuple[DiscreteFactor, ...] = tuple(_network_factors(network))
+        self._plans: dict[tuple, _QueryPlan] = {}
+        self._priors: dict[str, DiscreteFactor] = {}
+        self._use_einsum = len(self._nodes) <= _MAX_EINSUM_VARS
+        if self._use_einsum:
+            self._labels = dict(zip(self._nodes, string.ascii_letters))
+        else:  # pragma: no cover - exercised only by very large networks
+            self._labels = {}
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        return self._nodes
+
+    @property
+    def cardinalities(self) -> dict[str, int]:
+        return dict(self._cards)
+
+    @property
+    def n_cached_plans(self) -> int:
+        return len(self._plans)
+
+    def cardinality(self, variable: str) -> int:
+        try:
+            return self._cards[str(variable)]
+        except KeyError:
+            raise InferenceError(f"unknown variable {variable!r}") from None
+
+    # ------------------------------------------------------------------ #
+    # Plan compilation
+    # ------------------------------------------------------------------ #
+
+    def _validate(self, variables: Sequence[str], evidence_vars: Iterable[str]) -> None:
+        unknown = (set(variables) | set(evidence_vars)) - set(self._nodes)
+        if unknown:
+            raise InferenceError(f"unknown variables {sorted(unknown)}")
+        overlap = set(variables) & set(evidence_vars)
+        if overlap:
+            raise InferenceError(f"variables also in evidence: {sorted(overlap)}")
+        if not variables:
+            raise InferenceError("need at least one query variable")
+        if len(set(variables)) != len(variables):
+            raise InferenceError(f"duplicate query variables: {list(variables)}")
+
+    def _plan(self, variables: tuple[str, ...], evidence_vars: frozenset[str]) -> _QueryPlan:
+        key = (variables, evidence_vars)
+        plan = self._plans.get(key)
+        if plan is not None:
+            return plan
+
+        ev_order = tuple(sorted(evidence_vars))
+        eliminate = set(self._nodes) - set(variables) - evidence_vars
+        order = _min_fill_order(self._factors, eliminate, evidence_vars)
+
+        operands: list[tuple[np.ndarray, tuple[str, ...], tuple[str, ...]]] = []
+        subs_single: list[str] = []
+        subs_batch: list[str] = []
+        for f in self._factors:
+            ev_axes = [i for i, v in enumerate(f.variables) if v in evidence_vars]
+            free_axes = [i for i, v in enumerate(f.variables) if v not in evidence_vars]
+            ev_vars = tuple(f.variables[i] for i in ev_axes)
+            free_vars = tuple(f.variables[i] for i in free_axes)
+            # Evidence axes first so advanced indexing (scalar states or
+            # row columns) lands the batch axis in front of the free axes.
+            values = np.ascontiguousarray(np.transpose(f.values, ev_axes + free_axes))
+            operands.append((values, ev_vars, free_vars))
+            if self._use_einsum:
+                free_labels = "".join(self._labels[v] for v in free_vars)
+                subs_single.append(free_labels)
+                subs_batch.append((_BATCH_LABEL if ev_vars else "") + free_labels)
+        out_labels = "".join(self._labels[v] for v in variables) if self._use_einsum else ""
+        subscripts_single = ",".join(subs_single) + "->" + out_labels
+        subscripts_batch = ",".join(subs_batch) + "->" + _BATCH_LABEL + out_labels
+        plan = _QueryPlan(
+            variables=variables,
+            evidence_vars=ev_order,
+            elimination_order=order,
+            operands=operands,
+            subscripts_single=subscripts_single if self._use_einsum else None,
+            subscripts_batch=subscripts_batch if self._use_einsum else None,
+            out_shape=tuple(self._cards[v] for v in variables),
+        )
+        self._plans[key] = plan
+        return plan
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    def query(
+        self,
+        variables: Iterable[str],
+        evidence: "Mapping[str, int] | None" = None,
+    ) -> DiscreteFactor:
+        """Posterior joint factor ``P(variables | evidence)``.
+
+        Result matches
+        :func:`repro.bn.inference.variable_elimination.query` (same scope
+        order, normalized); only the cost differs.
+        """
+        variables = tuple(str(v) for v in variables)
+        evidence = {str(k): int(v) for k, v in (evidence or {}).items()}
+        self._validate(variables, evidence)
+        for v, s in evidence.items():
+            if not 0 <= s < self._cards[v]:
+                raise InferenceError(
+                    f"state {s} out of range for {v!r} (card {self._cards[v]})"
+                )
+        plan = self._plan(variables, frozenset(evidence))
+        if not self._use_einsum:  # pragma: no cover - large-network fallback
+            values = self._eliminate(plan, evidence)
+        else:
+            arrays = [
+                values[tuple(evidence[v] for v in ev_vars)] if ev_vars else values
+                for values, ev_vars, _ in plan.operands
+            ]
+            if plan.path_single is None:
+                plan.path_single = np.einsum_path(
+                    plan.subscripts_single, *arrays, optimize="greedy"
+                )[0]
+            values = np.einsum(
+                plan.subscripts_single, *arrays, optimize=plan.path_single
+            )
+        total = float(values.sum())
+        if total <= 0:
+            raise InferenceError("evidence has zero probability under the model")
+        return DiscreteFactor(variables, plan.out_shape, values / total)
+
+    def query_batch(
+        self,
+        variables: Iterable[str],
+        evidence_rows: "Mapping[str, Sequence[int]] | Sequence[Mapping[str, int]]",
+    ) -> np.ndarray:
+        """Answer N evidence rows in one vectorized pass.
+
+        ``evidence_rows`` is either a mapping ``{variable: column of N
+        state indices}`` or a sequence of N ``{variable: state}`` rows
+        (all rows must observe the same variable set — that *is* the
+        compiled signature).  Returns an ``(N, card(V1), ...)`` array
+        whose row ``i`` is the normalized posterior
+        ``P(variables | evidence_rows[i])``, identical (up to float
+        error) to calling :meth:`query` row by row.
+        """
+        variables = tuple(str(v) for v in variables)
+        columns = _evidence_columns(evidence_rows)
+        self._validate(variables, columns)
+        if not columns:
+            raise InferenceError("query_batch needs at least one evidence variable")
+        n_rows = {v: col.size for v, col in columns.items()}
+        n = next(iter(n_rows.values()))
+        if any(size != n for size in n_rows.values()):
+            raise InferenceError(f"evidence columns have mismatched lengths {n_rows}")
+        if n == 0:
+            raise InferenceError("query_batch needs at least one evidence row")
+        for v, col in columns.items():
+            if col.min() < 0 or col.max() >= self._cards[v]:
+                raise InferenceError(
+                    f"evidence states for {v!r} out of range (card {self._cards[v]})"
+                )
+        plan = self._plan(variables, frozenset(columns))
+        if not self._use_einsum:  # pragma: no cover - large-network fallback
+            out = np.stack(
+                [
+                    self._eliminate(plan, {v: int(col[i]) for v, col in columns.items()})
+                    for i in range(n)
+                ]
+            )
+        else:
+            arrays = [
+                values[tuple(columns[v] for v in ev_vars)] if ev_vars else values
+                for values, ev_vars, _ in plan.operands
+            ]
+            if plan.path_batch is None:
+                plan.path_batch = np.einsum_path(
+                    plan.subscripts_batch, *arrays, optimize="greedy"
+                )[0]
+            out = np.einsum(plan.subscripts_batch, *arrays, optimize=plan.path_batch)
+        totals = out.reshape(n, -1).sum(axis=1)
+        bad = np.flatnonzero(totals <= 0)
+        if bad.size:
+            raise InferenceError(
+                f"evidence has zero probability under the model at rows {bad[:5].tolist()}"
+            )
+        return out / totals.reshape((n,) + (1,) * len(plan.out_shape))
+
+    def prior(self, variable: str) -> DiscreteFactor:
+        """Cached evidence-free marginal ``P(variable)``."""
+        variable = str(variable)
+        cached = self._priors.get(variable)
+        if cached is None:
+            cached = self.query([variable], {})
+            self._priors[variable] = cached
+        return cached
+
+    def posterior_mean_batch(
+        self,
+        variable: str,
+        centers: np.ndarray,
+        evidence_rows: "Mapping[str, Sequence[int]] | Sequence[Mapping[str, int]]",
+    ) -> np.ndarray:
+        """Vectorized counterpart of ``network.posterior_mean`` — one mean
+        per evidence row, in the original (bin-center) units."""
+        centers = np.asarray(centers, dtype=float)
+        pmfs = self.query_batch([variable], evidence_rows)
+        if centers.shape != pmfs.shape[1:]:
+            raise InferenceError("centers do not match the variable's cardinality")
+        return pmfs @ centers
+
+    # ------------------------------------------------------------------ #
+    # Fallback elimination (networks too large for einsum labels)
+    # ------------------------------------------------------------------ #
+
+    def _eliminate(self, plan: _QueryPlan, evidence: Mapping[str, int]) -> np.ndarray:
+        """One plan-guided sweep of factor-algebra elimination."""
+        constants = 1.0
+        live: list[DiscreteFactor] = []
+        for values, ev_vars, free_vars in plan.operands:
+            if ev_vars:
+                values = values[tuple(evidence[v] for v in ev_vars)]
+            if not free_vars:
+                constants *= float(values)
+            else:
+                live.append(
+                    DiscreteFactor(free_vars, [self._cards[v] for v in free_vars], values)
+                )
+        for var in plan.elimination_order:
+            related = [f for f in live if var in f.variables]
+            live = [f for f in live if var not in f.variables]
+            if not related:
+                continue
+            product = related[0]
+            for f in related[1:]:
+                product = product.product(f)
+            if set(product.variables) == {var}:
+                constants *= float(product.values.sum())
+            else:
+                live.append(product.marginalize([var]))
+        if not live:
+            raise InferenceError("query produced an empty factor set")
+        result = live[0]
+        for f in live[1:]:
+            result = result.product(f)
+        return result.permute(plan.variables).values * constants
+
+
+# --------------------------------------------------------------------- #
+# Helpers
+# --------------------------------------------------------------------- #
+
+
+def _evidence_columns(evidence_rows) -> dict[str, np.ndarray]:
+    """Normalize either batch-evidence form into integer index columns."""
+    if isinstance(evidence_rows, Mapping):
+        return {
+            str(v): np.asarray(col, dtype=np.intp).reshape(-1)
+            for v, col in evidence_rows.items()
+        }
+    rows = list(evidence_rows)
+    if not rows:
+        raise InferenceError("query_batch needs at least one evidence row")
+    keys = set(map(str, rows[0]))
+    columns: dict[str, list[int]] = {k: [] for k in keys}
+    for i, row in enumerate(rows):
+        row = {str(k): int(v) for k, v in row.items()}
+        if set(row) != keys:
+            raise InferenceError(
+                f"evidence row {i} observes {sorted(row)}, "
+                f"expected {sorted(keys)} (one signature per batch)"
+            )
+        for k in keys:
+            columns[k].append(row[k])
+    return {k: np.asarray(v, dtype=np.intp) for k, v in columns.items()}
+
+
+def _min_fill_order(
+    factors: Sequence[DiscreteFactor],
+    eliminate: "set[str]",
+    evidence_vars: "frozenset[str]",
+) -> tuple[str, ...]:
+    """Greedy min-fill order over ``eliminate`` on evidence-reduced scopes."""
+    adj: dict[str, set[str]] = {}
+    for f in factors:
+        scope = [v for v in f.variables if v not in evidence_vars]
+        for v in scope:
+            adj.setdefault(v, set())
+        for v in scope:
+            adj[v] |= set(scope) - {v}
+    order: list[str] = []
+    remaining = set(eliminate)
+    while remaining:
+        best, best_fill = None, None
+        for v in sorted(remaining):
+            nbrs = list(adj.get(v, set()) & set(adj))
+            fill = sum(
+                1
+                for i in range(len(nbrs))
+                for j in range(i + 1, len(nbrs))
+                if nbrs[j] not in adj.get(nbrs[i], set())
+            )
+            if best_fill is None or fill < best_fill:
+                best, best_fill = v, fill
+        order.append(best)
+        remaining.discard(best)
+        nbrs = adj.pop(best, set())
+        for u in nbrs:
+            adj[u].discard(best)
+            adj[u] |= nbrs - {u}
+    return tuple(order)

@@ -15,6 +15,14 @@ Construction follows the classic recipe (Lauritzen & Spiegelhalter):
    intersection property for elimination-ordered cliques);
 3. multiply each CPD factor into one clique containing its family;
 4. calibrate with a collect/distribute pass of sum-product messages.
+
+The expensive steps — triangulation, spanning tree, factor assignment —
+depend only on the *network*, so they run once.  Evidence enters as
+one-hot indicator slices multiplied into the home clique's potential,
+and :meth:`JunctionTree.absorb` / :meth:`JunctionTree.retract` change
+the observed set *incrementally*: only the (cheap) message-passing
+recalibration reruns, never the tree construction.  Calibration is lazy,
+so an absorb/retract burst pays for one recalibration, not one per call.
 """
 
 from __future__ import annotations
@@ -28,37 +36,38 @@ from repro.exceptions import InferenceError
 
 
 class JunctionTree:
-    """A calibrated clique tree over a discrete Bayesian network."""
+    """A calibrated clique tree over a discrete Bayesian network.
+
+    The tree structure is built once, evidence-free; ``evidence`` given
+    here (or later via :meth:`absorb`) only re-triggers calibration.
+    """
 
     def __init__(self, network, evidence: "Mapping[str, int] | None" = None):
         from repro.bn.inference.variable_elimination import _network_factors
 
-        self.evidence = {str(k): int(v) for k, v in (evidence or {}).items()}
-        unknown = set(self.evidence) - set(map(str, network.nodes))
-        if unknown:
-            raise InferenceError(f"evidence on unknown nodes {sorted(unknown)}")
-        cards = network.cardinalities
-        self._cards = dict(cards)
-
-        # Reduce factors by evidence; remember scalar survivors.
-        self._constant = 1.0
-        factors: list[DiscreteFactor] = []
-        for f in _network_factors(network):
-            if set(f.variables) <= set(self.evidence):
-                self._constant *= f.value_at(self.evidence)
-            else:
-                factors.append(f.reduce(self.evidence))
-        if self._constant <= 0:
-            raise InferenceError("evidence has zero probability under the model")
-
-        variables = [v for v in map(str, network.nodes) if v not in self.evidence]
+        self._cards: dict[str, int] = dict(network.cardinalities)
+        factors = _network_factors(network)
+        variables = [str(n) for n in network.nodes]
         self._cliques = _triangulate(factors, variables)
         self._edges = _spanning_tree(self._cliques)
-        self._potentials = _assign_factors(self._cliques, factors, self._cards)
+        self._base_potentials = _assign_factors(self._cliques, factors, self._cards)
+        # Home clique for each variable's evidence indicator.
+        self._home: dict[str, int] = {}
+        for v in variables:
+            self._home[v] = next(i for i, c in enumerate(self._cliques) if v in c)
+        self._evidence: dict[str, int] = {}
         self._beliefs: "list[DiscreteFactor] | None" = None
-        self._calibrate()
+        if evidence:
+            self.absorb(evidence)
+        else:
+            self._recalibrate()
 
     # ------------------------------------------------------------------ #
+
+    @property
+    def evidence(self) -> dict[str, int]:
+        """The currently absorbed evidence (a copy)."""
+        return dict(self._evidence)
 
     @property
     def cliques(self) -> tuple[frozenset, ...]:
@@ -67,6 +76,59 @@ class JunctionTree:
     @property
     def n_cliques(self) -> int:
         return len(self._cliques)
+
+    # ------------------------------------------------------------------ #
+    # Incremental evidence
+    # ------------------------------------------------------------------ #
+
+    def absorb(self, evidence: Mapping[str, int]) -> "JunctionTree":
+        """Add observations without rebuilding the tree.
+
+        Raises :class:`InferenceError` (and leaves the tree exactly as it
+        was) if a variable is unknown, already observed, out of range, or
+        the combined evidence has zero probability under the model.
+        Returns ``self`` for chaining.
+        """
+        ev = {str(k): int(v) for k, v in evidence.items()}
+        unknown = set(ev) - set(self._cards)
+        if unknown:
+            raise InferenceError(f"evidence on unknown nodes {sorted(unknown)}")
+        already = set(ev) & set(self._evidence)
+        if already:
+            raise InferenceError(
+                f"variables already observed: {sorted(already)}; retract first"
+            )
+        for v, s in ev.items():
+            if not 0 <= s < self._cards[v]:
+                raise InferenceError(
+                    f"state {s} out of range for {v!r} (card {self._cards[v]})"
+                )
+        self._evidence.update(ev)
+        self._beliefs = None
+        try:
+            self._require_calibrated()
+        except InferenceError:
+            # Roll back so the tree stays usable after bad evidence.
+            for v in ev:
+                del self._evidence[v]
+            self._beliefs = None
+            raise
+        return self
+
+    def retract(self, variables: Iterable[str]) -> "JunctionTree":
+        """Drop observations on ``variables``; calibration reruns lazily."""
+        names = [str(v) for v in variables]
+        missing = [v for v in names if v not in self._evidence]
+        if missing:
+            raise InferenceError(f"variables not observed: {sorted(missing)}")
+        for v in names:
+            del self._evidence[v]
+        self._beliefs = None
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Calibration
+    # ------------------------------------------------------------------ #
 
     def _neighbors(self, i: int) -> list[int]:
         out = []
@@ -77,13 +139,30 @@ class JunctionTree:
                 out.append(a)
         return out
 
-    def _calibrate(self) -> None:
-        """Two-pass sum-product message passing over the tree."""
+    def _evidence_potentials(self) -> list[DiscreteFactor]:
+        """Base potentials with one-hot indicators for current evidence."""
+        potentials = list(self._base_potentials)
+        for v, s in self._evidence.items():
+            one_hot = np.zeros(self._cards[v])
+            one_hot[s] = 1.0
+            i = self._home[v]
+            potentials[i] = potentials[i].product(
+                DiscreteFactor([v], [self._cards[v]], one_hot)
+            )
+        return potentials
+
+    def _require_calibrated(self) -> None:
+        if self._beliefs is None:
+            self._recalibrate()
+
+    def _recalibrate(self) -> None:
+        """Two-pass sum-product message passing over the (fixed) tree."""
         n = len(self._cliques)
+        potentials = self._evidence_potentials()
         messages: dict[tuple[int, int], DiscreteFactor] = {}
 
         def send(src: int, dst: int) -> None:
-            product = self._potentials[src]
+            product = potentials[src]
             for nbr in self._neighbors(src):
                 if nbr != dst and (nbr, src) in messages:
                     product = product.product(messages[(nbr, src)])
@@ -106,7 +185,6 @@ class JunctionTree:
             messages[(src, dst)] = msg
 
         # Collect toward clique 0, then distribute, via DFS ordering.
-        order: list[tuple[int, int]] = []  # (child, parent) pairs
         seen = {0}
         stack = [0]
         parent = {0: -1}
@@ -131,21 +209,24 @@ class JunctionTree:
 
         beliefs = []
         for i in range(n):
-            b = self._potentials[i]
+            b = potentials[i]
             for nbr in self._neighbors(i):
                 b = b.product(messages[(nbr, i)])
             beliefs.append(b)
-        self._beliefs = beliefs
-        if float(beliefs[0].values.sum()) * self._constant <= 0:
+        if float(beliefs[0].values.sum()) <= 0:
             raise InferenceError("evidence has zero probability under the model")
+        self._beliefs = beliefs
 
+    # ------------------------------------------------------------------ #
+    # Queries
     # ------------------------------------------------------------------ #
 
     def marginal(self, variable: str) -> DiscreteFactor:
         """Posterior marginal ``P(variable | evidence)``."""
         variable = str(variable)
-        if variable in self.evidence:
+        if variable in self._evidence:
             raise InferenceError(f"{variable!r} is observed")
+        self._require_calibrated()
         assert self._beliefs is not None
         for clique, belief in zip(self._cliques, self._beliefs):
             if variable in clique:
@@ -159,14 +240,15 @@ class JunctionTree:
         out = {}
         for clique in self._cliques:
             for v in clique:
-                if v not in out:
+                if v not in out and v not in self._evidence:
                     out[v] = self.marginal(v)
         return out
 
     def log_probability_of_evidence(self) -> float:
         """``ln P(evidence)`` — the calibration's normalizing constant."""
+        self._require_calibrated()
         assert self._beliefs is not None
-        total = float(self._beliefs[0].values.sum()) * self._constant
+        total = float(self._beliefs[0].values.sum())
         if total <= 0:
             raise InferenceError("evidence has zero probability")
         return float(np.log(total))

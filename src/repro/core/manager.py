@@ -90,8 +90,12 @@ class AutonomicManager:
         self.history: list[CycleReport] = []
         # Localization compares *current* observations against the last
         # model built while the SLA held — a freshly rebuilt model already
-        # reflects the fault and would show nothing anomalous.
+        # reflects the fault and would show nothing anomalous.  The
+        # localizer for that reference model is cached alongside it, so
+        # consecutive violating cycles reuse its compiled joint Gaussian
+        # instead of re-deriving it every cycle.
         self._reference_model: "KERTBN | None" = None
+        self._reference_localizer: "ProblemLocalizer | None" = None
 
     # ------------------------------------------------------------------ #
 
@@ -114,7 +118,14 @@ class AutonomicManager:
         if p_violation > self.policy.max_violation_prob:
             # Plan: blame ranking against the last healthy model, then the
             # *mildest* sufficient speedup.
-            localizer = ProblemLocalizer(self._reference_model or model)
+            if self._reference_model is not None:
+                if self._reference_localizer is None:
+                    self._reference_localizer = ProblemLocalizer(self._reference_model)
+                localizer = self._reference_localizer
+            else:
+                # No healthy reference yet: localize against the fresh
+                # model, sharing this cycle's already-built assessor.
+                localizer = ProblemLocalizer(model, assessor=assessor)
             observed = {
                 s: float(np.mean(data[s])) for s in self.env.service_names
             }
@@ -145,6 +156,7 @@ class AutonomicManager:
             report.projected_violation_prob = chosen[1]
         else:
             self._reference_model = model
+            self._reference_localizer = None
         self.history.append(report)
         return report
 

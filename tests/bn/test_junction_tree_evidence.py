@@ -1,0 +1,148 @@
+"""Incremental evidence on the junction tree: absorb/retract round-trips.
+
+The tree structure (triangulation, spanning tree, factor assignment) is
+built once; these tests pin down that changing the observed set through
+:meth:`JunctionTree.absorb` / :meth:`JunctionTree.retract` is exactly
+equivalent to rebuilding with the combined evidence — including the
+zero-probability error paths, after which the tree must stay usable.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bn.cpd import TabularCPD
+from repro.bn.dag import DAG
+from repro.bn.inference.junction_tree import JunctionTree
+from repro.bn.inference.variable_elimination import query
+from repro.bn.network import DiscreteBayesianNetwork
+from repro.exceptions import InferenceError
+
+from tests.bn.test_inference_ve import random_discrete_net
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_absorb_matches_fresh_build(seed):
+    rng = np.random.default_rng(seed)
+    net = random_discrete_net(rng, n_nodes=6)
+    nodes = [str(n) for n in net.nodes]
+    evidence = {nodes[0]: 0, nodes[-1]: 1 % net.cardinalities[nodes[-1]]}
+
+    incremental = JunctionTree(net)
+    for var, state in evidence.items():  # absorb one variable at a time
+        incremental.absorb({var: state})
+    fresh = JunctionTree(net, evidence)
+
+    assert incremental.evidence == fresh.evidence == evidence
+    for v in nodes:
+        if v in evidence:
+            continue
+        np.testing.assert_allclose(
+            incremental.marginal(v).values, fresh.marginal(v).values, atol=1e-10
+        )
+        np.testing.assert_allclose(
+            incremental.marginal(v).values, query(net, [v], evidence).values, atol=1e-10
+        )
+    assert incremental.log_probability_of_evidence() == pytest.approx(
+        fresh.log_probability_of_evidence()
+    )
+
+
+@pytest.mark.parametrize("seed", [3, 4])
+def test_retract_restores_prior_state(seed):
+    rng = np.random.default_rng(seed)
+    net = random_discrete_net(rng, n_nodes=5)
+    nodes = [str(n) for n in net.nodes]
+    jt = JunctionTree(net)
+    priors = {v: jt.marginal(v).values.copy() for v in nodes}
+
+    jt.absorb({nodes[0]: 0}).absorb({nodes[1]: 0})
+    jt.retract([nodes[1]])
+    partial = JunctionTree(net, {nodes[0]: 0})
+    for v in nodes[1:]:
+        np.testing.assert_allclose(
+            jt.marginal(v).values, partial.marginal(v).values, atol=1e-10
+        )
+
+    jt.retract([nodes[0]])
+    assert jt.evidence == {}
+    for v in nodes:
+        np.testing.assert_allclose(jt.marginal(v).values, priors[v], atol=1e-10)
+
+
+def test_absorb_validation():
+    rng = np.random.default_rng(5)
+    net = random_discrete_net(rng, n_nodes=4)
+    nodes = [str(n) for n in net.nodes]
+    jt = JunctionTree(net, {nodes[0]: 0})
+    with pytest.raises(InferenceError):
+        jt.absorb({"ghost": 0})
+    with pytest.raises(InferenceError):
+        jt.absorb({nodes[0]: 1})  # already observed: retract first
+    with pytest.raises(InferenceError):
+        jt.absorb({nodes[1]: 99})  # state out of range
+    with pytest.raises(InferenceError):
+        jt.retract([nodes[1]])  # not observed
+    # None of the rejected calls may have altered the observed set.
+    assert jt.evidence == {nodes[0]: 0}
+
+
+def test_zero_probability_absorb_rolls_back():
+    # a is deterministically 0 and P(b=1 | a=0) = 0.
+    dag = DAG(nodes=["a", "b", "c"], edges=[("a", "b"), ("b", "c")])
+    net = DiscreteBayesianNetwork(
+        dag,
+        [
+            TabularCPD("a", 2, np.array([1.0, 0.0])),
+            TabularCPD("b", 2, np.array([[1.0, 0.5], [0.0, 0.5]]), ("a",), (2,)),
+            TabularCPD("c", 2, np.array([[0.9, 0.2], [0.1, 0.8]]), ("b",), (2,)),
+        ],
+    )
+    with pytest.raises(InferenceError):
+        JunctionTree(net, {"b": 1})  # fresh build rejects it too
+
+    jt = JunctionTree(net)
+    before = {v: jt.marginal(v).values.copy() for v in ("a", "b", "c")}
+    with pytest.raises(InferenceError, match="zero probability"):
+        jt.absorb({"b": 1})
+    # The failed absorb must leave the tree fully usable and unchanged.
+    assert jt.evidence == {}
+    for v, ref in before.items():
+        np.testing.assert_allclose(jt.marginal(v).values, ref, atol=1e-12)
+    # And a valid absorb afterwards still works.
+    jt.absorb({"b": 0})
+    np.testing.assert_allclose(
+        jt.marginal("c").values, query(net, ["c"], {"b": 0}).values, atol=1e-10
+    )
+
+
+def test_zero_probability_rollback_with_prior_evidence():
+    # With c already observed, absorbing the impossible b=1 must restore
+    # the c-only calibration, not wipe the earlier evidence.
+    dag = DAG(nodes=["a", "b", "c"], edges=[("a", "b"), ("b", "c")])
+    net = DiscreteBayesianNetwork(
+        dag,
+        [
+            TabularCPD("a", 2, np.array([1.0, 0.0])),
+            TabularCPD("b", 2, np.array([[1.0, 0.5], [0.0, 0.5]]), ("a",), (2,)),
+            TabularCPD("c", 2, np.array([[0.9, 0.2], [0.1, 0.8]]), ("b",), (2,)),
+        ],
+    )
+    jt = JunctionTree(net, {"c": 1})
+    with pytest.raises(InferenceError):
+        jt.absorb({"b": 1})
+    assert jt.evidence == {"c": 1}
+    np.testing.assert_allclose(
+        jt.marginal("b").values, query(net, ["b"], {"c": 1}).values, atol=1e-10
+    )
+
+
+def test_all_marginals_tracks_current_evidence():
+    rng = np.random.default_rng(6)
+    net = random_discrete_net(rng, n_nodes=5)
+    nodes = [str(n) for n in net.nodes]
+    jt = JunctionTree(net)
+    assert set(jt.all_marginals()) == set(nodes)
+    jt.absorb({nodes[0]: 0})
+    assert set(jt.all_marginals()) == set(nodes[1:])
+    jt.retract([nodes[0]])
+    assert set(jt.all_marginals()) == set(nodes)

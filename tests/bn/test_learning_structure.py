@@ -116,6 +116,31 @@ def test_k2_random_restarts_improves_or_matches_single():
     assert multi.n_restarts == 10
 
 
+def test_k2_random_restarts_share_score_cache():
+    # Restarts revisit overlapping (node, parent-set) families; the shared
+    # cache must turn those into hits, and the raw function must never be
+    # called twice for the same family.
+    data = chain_data(500)
+    calls: list[tuple[str, frozenset]] = []
+
+    def counting_score(v, ps):
+        calls.append((v, frozenset(ps)))
+        return gaussian_bic_local(data, v, ps)
+
+    result = k2_random_restarts(
+        ["a", "b", "c"], counting_score, rng=0, n_restarts=10
+    )
+    assert result.n_restarts == 10
+    assert result.n_cache_hits > 0
+    assert len(calls) == len(set(calls))  # every family scored at most once
+    # Calls + hits account for every score lookup the search made.
+    assert len(calls) + result.n_cache_hits == result.n_score_evaluations
+    # A caller-provided ScoreCache (the NRT-BN path) is reused, not rewrapped.
+    cache = ScoreCache(lambda v, ps: gaussian_bic_local(data, v, ps))
+    k2_random_restarts(["a", "b", "c"], cache, rng=0, n_restarts=5)
+    assert cache.n_evaluations > 0 and cache.n_hits > 0
+
+
 def test_k2_random_restarts_time_budget():
     data = chain_data(200)
     score = lambda v, ps: gaussian_bic_local(data, v, ps)

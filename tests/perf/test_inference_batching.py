@@ -1,0 +1,83 @@
+"""Perf tripwires for the compile-once inference engine.
+
+Generous wall-clock *ratio* bounds (measured margins are 3–10× above
+the asserted floors) that only the intended implementation can meet:
+
+- a compiled engine answering the same-signature query repeatedly must
+  beat scratch variable elimination by ≥5× — if someone reintroduces
+  per-query factor extraction or order computation, this trips;
+- ``query_batch`` over 1k evidence rows must beat a per-row loop of
+  *compiled* queries by ≥5× — if the batch path degenerates into a row
+  loop, this trips.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+
+N_ROWS = 1_000
+
+
+@pytest.fixture(scope="module")
+def discrete_net(ediamond_discrete_model):
+    return ediamond_discrete_model.network
+
+
+def test_compiled_repeated_queries_beat_scratch_ve(discrete_net):
+    from repro.bn.inference.variable_elimination import query as ve_query
+
+    net = discrete_net
+    evidence = {"X1": 1, "X2": 2, "D": 3}
+    engine = net.compiled()
+    engine.query(["X3"], evidence)  # compile the plan outside the timing
+
+    n = 50
+    t0 = time.perf_counter()
+    for _ in range(n):
+        ve_query(net, ["X3"], evidence)
+    scratch = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    for _ in range(n):
+        engine.query(["X3"], evidence)
+    compiled = time.perf_counter() - t0
+
+    assert scratch / compiled >= 5.0, (
+        f"compile-once speedup degraded: {scratch / compiled:.1f}x "
+        f"(scratch {scratch:.3f}s vs compiled {compiled:.3f}s over {n} queries)"
+    )
+
+
+def test_query_batch_beats_per_row_loop(discrete_net):
+    net = discrete_net
+    engine = net.compiled()
+    rng = np.random.default_rng(0)
+    cards = net.cardinalities
+    columns = {
+        v: rng.integers(0, cards[v], size=N_ROWS) for v in ("X1", "X2", "D")
+    }
+    engine.query_batch(["X3"], columns)  # warm the batch plan
+
+    t0 = time.perf_counter()
+    batched = engine.query_batch(["X3"], columns)
+    batch_seconds = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    for i in range(N_ROWS):
+        row = {v: int(col[i]) for v, col in columns.items()}
+        engine.query(["X3"], row)
+    loop_seconds = time.perf_counter() - t0
+
+    assert loop_seconds / batch_seconds >= 5.0, (
+        f"batched speedup degraded: {loop_seconds / batch_seconds:.1f}x at "
+        f"{N_ROWS} rows (loop {loop_seconds:.3f}s vs batch {batch_seconds:.3f}s)"
+    )
+    # And the vectorized pass must agree with the row loop exactly.
+    sample = rng.integers(0, N_ROWS, size=8)
+    for i in sample:
+        row = {v: int(col[i]) for v, col in columns.items()}
+        np.testing.assert_allclose(
+            batched[i], engine.query(["X3"], row).values, atol=1e-9
+        )
