@@ -29,9 +29,7 @@ from repro.apps.assessment import RapidAssessor
 from repro.apps.localization import ProblemLocalizer
 from repro.core.kertbn import KERTBN, build_continuous_kertbn
 from repro.exceptions import ReproError
-from repro.simulator.delays import Scaled
 from repro.simulator.environment import SimulatedEnvironment
-from repro.simulator.service import ServiceSpec
 from repro.utils.rng import ensure_rng
 
 
@@ -56,7 +54,13 @@ class SLAPolicy:
 
 @dataclass
 class CycleReport:
-    """Everything one manage cycle observed and decided."""
+    """Everything one manage cycle observed and decided.
+
+    ``degraded`` marks a cycle whose model rebuild failed (learning
+    error, all-NaN window): the manager fell back to the last healthy
+    reference model — or, lacking one, to no model at all — recorded the
+    ``incident``, and took no action.  The loop itself never crashes.
+    """
 
     cycle: int
     violation_prob: float
@@ -65,6 +69,8 @@ class CycleReport:
     projected_violation_prob: "float | None" = None
     suspects: list = field(default_factory=list)
     model: "KERTBN | None" = None
+    degraded: bool = False
+    incident: "str | None" = None
 
     @property
     def acted(self) -> bool:
@@ -99,16 +105,57 @@ class AutonomicManager:
 
     # ------------------------------------------------------------------ #
 
+    def _degraded_report(self, cycle: int, incident: str) -> CycleReport:
+        """Survive a failed analyze step: reuse the last healthy model's
+        assessment (or report no estimate at all), record the incident,
+        take no action, and let the next cycle try again."""
+        if self._reference_model is not None:
+            assessor = RapidAssessor(self._reference_model)
+            expected, _ = assessor.assess()
+            p_violation = assessor.violation_probability(self.policy.threshold)
+        else:
+            expected = float("nan")
+            p_violation = float("nan")
+        report = CycleReport(
+            cycle=cycle,
+            violation_prob=p_violation,
+            expected_response=expected,
+            model=self._reference_model,
+            degraded=True,
+            incident=incident,
+        )
+        self.history.append(report)
+        return report
+
+    def _unlearnable(self, data) -> "str | None":
+        """A window no rebuild can survive: some column has no finite data."""
+        for name in (*self.env.service_names, self.env.response):
+            col = np.asarray(data[name], dtype=float)
+            if not np.isfinite(col).any():
+                return f"column {name!r} has no finite values in the window"
+        return None
+
     def run_cycle(self) -> CycleReport:
-        """Execute one full MAPE cycle; mutates the environment if acting."""
+        """Execute one full MAPE cycle; mutates the environment if acting.
+
+        A failed model rebuild never crashes the loop: the cycle is
+        recorded as degraded (see :meth:`_degraded_report`) and the
+        manager resumes on the next window.
+        """
         cycle = len(self.history)
         # Monitor: fresh window from the live environment.
         data = self.env.simulate(self.window_points, rng=self.rng)
         # Analyze: rebuild the model (reconstruction, not update) + assess.
-        model = build_continuous_kertbn(self.env.workflow, data)
-        assessor = RapidAssessor(model)
-        expected, _ = assessor.assess()
-        p_violation = assessor.violation_probability(self.policy.threshold)
+        incident = self._unlearnable(data)
+        if incident is not None:
+            return self._degraded_report(cycle, incident)
+        try:
+            model = build_continuous_kertbn(self.env.workflow, data)
+            assessor = RapidAssessor(model)
+            expected, _ = assessor.assess()
+            p_violation = assessor.violation_probability(self.policy.threshold)
+        except (ReproError, FloatingPointError, ValueError) as exc:
+            return self._degraded_report(cycle, f"model rebuild failed: {exc}")
         report = CycleReport(
             cycle=cycle,
             violation_prob=p_violation,
@@ -168,28 +215,9 @@ class AutonomicManager:
     # ------------------------------------------------------------------ #
 
     def _apply_speedup(self, service: str, factor: float) -> None:
-        """Scale one service's delay distribution in place (the simulated
-        equivalent of a resource-allocation action)."""
-        new_specs = []
-        found = False
-        for spec in self.env.services:
-            if spec.name == service:
-                found = True
-                new_specs.append(
-                    ServiceSpec(
-                        spec.name,
-                        Scaled(spec.delay, factor),
-                        host=spec.host,
-                        demand_sensitivity=spec.demand_sensitivity,
-                        upstream_coupling=spec.upstream_coupling,
-                        queueing=spec.queueing,
-                    )
-                )
-            else:
-                new_specs.append(spec)
-        if not found:
-            raise ReproError(f"unknown service {service!r}")
-        self.env.services = tuple(new_specs)
+        """Execute a resource action: delegate to the environment's single
+        mutation point, :meth:`SimulatedEnvironment.scale_service`."""
+        self.env.scale_service(service, factor)
 
 
 def inject_degradation(
@@ -198,6 +226,4 @@ def inject_degradation(
     """Test/demo helper: degrade one service in place (factor > 1)."""
     if factor <= 0:
         raise ReproError("factor must be > 0")
-    manager_like = AutonomicManager.__new__(AutonomicManager)
-    manager_like.env = environment
-    AutonomicManager._apply_speedup(manager_like, service, factor)
+    environment.scale_service(service, factor)

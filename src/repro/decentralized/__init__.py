@@ -16,18 +16,31 @@ Three layers:
   time; centralized = sum);
 - :mod:`repro.decentralized.parallel` — an optional true-concurrency
   executor on :mod:`multiprocessing`, for demonstration on multi-core
-  machines.
+  machines;
+- :mod:`repro.decentralized.resilience` — retry/backoff/timeout policy
+  and the last-known-good CPD store that lets a round complete
+  *partially* (stale CPDs substituted, fresh/stale/failed reported)
+  when channels drop messages or agents fail.
 """
 
-from repro.decentralized.messaging import Message, Channel, Network
+from repro.decentralized.messaging import Message, Channel, ChannelFaults, Network
 from repro.decentralized.agent import LearningAgent
 from repro.decentralized.coordinator import Coordinator, DecentralizedResult
 from repro.decentralized.parallel import parallel_parameter_learning
 from repro.decentralized.piggyback import PiggybackDistributor, PiggybackResult
+from repro.decentralized.resilience import (
+    FAILED,
+    FRESH,
+    STALE,
+    NodeOutcome,
+    RetryPolicy,
+    RoundState,
+)
 
 __all__ = [
     "Message",
     "Channel",
+    "ChannelFaults",
     "Network",
     "LearningAgent",
     "Coordinator",
@@ -35,4 +48,10 @@ __all__ = [
     "parallel_parameter_learning",
     "PiggybackDistributor",
     "PiggybackResult",
+    "RetryPolicy",
+    "RoundState",
+    "NodeOutcome",
+    "FRESH",
+    "STALE",
+    "FAILED",
 ]

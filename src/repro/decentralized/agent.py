@@ -52,13 +52,24 @@ def tabular_fitter(cardinalities: dict, alpha: float = 1.0) -> CpdFitter:
 
 @dataclass
 class LearningAgent:
-    """Monitoring agent extended with local CPD learning."""
+    """Monitoring agent extended with local CPD learning.
+
+    Lifecycle: :meth:`begin_round` clears the previous round's columns
+    (a window's data must not silently stand in for the next window's),
+    then :meth:`collect_local` / :meth:`receive` fill the round's
+    columns, then :meth:`learn` fits.  Re-delivery of a column already
+    received this round is counted as a duplicate and the latest copy
+    wins — duplicates are a normal channel fault, not an error.
+    """
 
     service: str
     parents: tuple[str, ...]
     fitter: CpdFitter
     _columns: dict = field(default_factory=dict, repr=False)
     last_fit_seconds: float = 0.0
+    last_wait_seconds: float = 0.0  # delivery delay + retry backoff, this round
+    n_received: int = 0
+    n_duplicates: int = 0
 
     def __post_init__(self) -> None:
         self.parents = tuple(self.parents)
@@ -68,6 +79,11 @@ class LearningAgent:
     # ------------------------------------------------------------------ #
     # Data acquisition
     # ------------------------------------------------------------------ #
+
+    def begin_round(self) -> None:
+        """Drop the previous round's columns and reset wait accounting."""
+        self._columns.clear()
+        self.last_wait_seconds = 0.0
 
     def collect_local(self, column: np.ndarray) -> None:
         """Ingest the service's own monitoring-point measurements."""
@@ -84,6 +100,12 @@ class LearningAgent:
             raise LearningError(
                 f"agent {self.service!r} has no parent {message.column!r}"
             )
+        if message.column in self._columns:
+            self.n_duplicates += 1
+        self.n_received += 1
+        # Parents transmit concurrently, so the round's delivery wait is
+        # the slowest message, not the sum.
+        self.last_wait_seconds = max(self.last_wait_seconds, message.latency)
         self._columns[message.column] = np.asarray(message.payload, dtype=float)
 
     @property

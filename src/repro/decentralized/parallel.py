@@ -48,6 +48,10 @@ def parallel_parameter_learning(
     pure function of its columns).
     """
     node_list = [str(n) for n in (nodes if nodes is not None else dag.nodes)]
+    if not node_list:
+        raise LearningError("no nodes to fit — empty node list")
+    if processes is not None and processes < 1:
+        raise LearningError(f"processes must be >= 1, got {processes}")
     unknown = [n for n in node_list if n not in dag]
     if unknown:
         raise LearningError(f"nodes not in structure: {unknown}")

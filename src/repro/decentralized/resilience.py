@@ -1,0 +1,119 @@
+"""Round-state tracking and retry policy for fault-tolerant learning.
+
+Section 5.1 lists "failure in the act of data reporting" as a normal
+data source, not an exception; a decentralized round therefore needs a
+story for parent columns that never arrive and for agents whose local
+fit errors out or overruns its budget.  This module supplies the two
+pieces the :class:`~repro.decentralized.coordinator.Coordinator` uses:
+
+- :class:`RetryPolicy` — how often to re-request an undelivered parent
+  column, with exponential backoff (simulated seconds, charged to the
+  agent's wait-time accounting), plus an optional per-agent fit timeout;
+- :class:`RoundState` — the coordinator's last-known-good CPD store.
+  When an agent cannot produce a fresh CPD this round, the round
+  *degrades* instead of aborting: the stale CPD is substituted and its
+  age (rounds since the last fresh fit) is reported.
+
+Every node ends a round in exactly one of three states:
+
+- ``FRESH``  — fit succeeded this round from this round's data;
+- ``STALE``  — fit impossible/failed, last-known-good CPD substituted;
+- ``FAILED`` — fit impossible/failed and no earlier CPD exists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import LearningError
+
+FRESH = "fresh"
+STALE = "stale"
+FAILED = "failed"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry/backoff/timeout knobs for one decentralized round.
+
+    ``max_attempts`` counts delivery attempts per parent column
+    (the initial send included); ``backoff(k)`` is the simulated wait
+    before re-request ``k`` (1-based).  ``fit_timeout`` — when set — is
+    the per-agent fit budget in seconds: an agent whose measured fit
+    time exceeds it is treated as failed for the round (in deployment
+    the server would have stopped waiting), even though the local fit
+    eventually returned.
+    """
+
+    max_attempts: int = 3
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    fit_timeout: "float | None" = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise LearningError("max_attempts must be >= 1")
+        if self.backoff_base < 0:
+            raise LearningError("backoff_base must be >= 0")
+        if self.backoff_factor < 1:
+            raise LearningError("backoff_factor must be >= 1")
+        if self.fit_timeout is not None and not self.fit_timeout > 0:
+            raise LearningError("fit_timeout must be > 0 when set")
+
+    def backoff(self, attempt: int) -> float:
+        """Simulated seconds waited before re-request ``attempt`` (1-based)."""
+        return self.backoff_base * self.backoff_factor ** (attempt - 1)
+
+
+@dataclass
+class NodeOutcome:
+    """How one node's CPD was obtained this round."""
+
+    node: str
+    status: str                 # FRESH | STALE | FAILED
+    attempts: int = 1           # delivery attempts consumed
+    age: int = 0                # rounds since the CPD was last fresh
+    error: "str | None" = None  # why a fresh fit was not produced
+
+    @property
+    def ok(self) -> bool:
+        return self.status != FAILED
+
+
+class RoundState:
+    """Last-known-good CPD store shared across a coordinator's rounds.
+
+    Memory is bounded by the node count — one CPD and one integer age
+    per node, never per-round history — so long-running deployments
+    (the heavy-traffic north star) do not grow state round over round.
+    """
+
+    def __init__(self) -> None:
+        self._good: dict = {}   # node -> last fresh CPD
+        self._age: dict = {}    # node -> rounds since that CPD was fresh
+        self.rounds_completed = 0
+
+    def record_fresh(self, node: str, cpd) -> None:
+        """A fit succeeded this round; it becomes the fallback for later."""
+        self._good[str(node)] = cpd
+        self._age[str(node)] = 0
+
+    def fallback(self, node: str):
+        """The last-known-good CPD for ``node``, or ``None`` if none exists."""
+        return self._good.get(str(node))
+
+    def age_of(self, node: str) -> int:
+        """Rounds since ``node`` last produced a fresh CPD (0 = this round)."""
+        return self._age.get(str(node), 0)
+
+    def close_round(self, fresh_nodes) -> None:
+        """End-of-round bookkeeping: age every CPD that was not refreshed."""
+        fresh = {str(n) for n in fresh_nodes}
+        for node in self._age:
+            if node not in fresh:
+                self._age[node] += 1
+        self.rounds_completed += 1
+
+    def snapshot(self) -> dict:
+        """``{node: age}`` for every node with a stored CPD."""
+        return dict(self._age)

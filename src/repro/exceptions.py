@@ -33,6 +33,11 @@ class SimulationError(ReproError):
     """Discrete-event simulation error (dangling call, bad config, ...)."""
 
 
+class CommunicationError(SimulationError):
+    """Agent-to-agent message delivery failure (bad channel use, invalid
+    fault configuration, undeliverable payload, ...)."""
+
+
 class DataError(ReproError):
     """Dataset construction / access error."""
 

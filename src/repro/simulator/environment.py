@@ -79,6 +79,43 @@ class SimulatedEnvironment:
         )
 
     # ------------------------------------------------------------------ #
+    # Resource actions
+    # ------------------------------------------------------------------ #
+
+    def scale_service(self, service: str, factor: float) -> None:
+        """Scale one service's delay distribution in place.
+
+        ``factor < 1`` accelerates (the simulated equivalent of a
+        resource-allocation action), ``factor > 1`` degrades (a fault /
+        load injection).  This is the single mutation point both the
+        autonomic manager's execute step and test harnesses go through.
+        """
+        from repro.simulator.delays import Scaled
+
+        if factor <= 0:
+            raise SimulationError(f"scale factor must be > 0, got {factor}")
+        new_specs = []
+        found = False
+        for spec in self.services:
+            if spec.name == service:
+                found = True
+                new_specs.append(
+                    ServiceSpec(
+                        spec.name,
+                        Scaled(spec.delay, factor),
+                        host=spec.host,
+                        demand_sensitivity=spec.demand_sensitivity,
+                        upstream_coupling=spec.upstream_coupling,
+                        queueing=spec.queueing,
+                    )
+                )
+            else:
+                new_specs.append(spec)
+        if not found:
+            raise SimulationError(f"unknown service {service!r}")
+        self.services = tuple(new_specs)
+
+    # ------------------------------------------------------------------ #
     # Data generation
     # ------------------------------------------------------------------ #
 

@@ -53,15 +53,25 @@ class FaultSchedule:
                 raise SimulationError(f"expected Degradation, got {type(d)!r}")
             self._by_service.setdefault(d.service, []).append(d)
 
+    def active(self, service: str, t: float) -> tuple:
+        """The degradations of ``service`` active at time ``t``.
+
+        Window semantics are half-open: a degradation is active at
+        ``t == start`` and inactive at ``t == end``, so back-to-back
+        windows ``[a, b)`` + ``[b, c)`` never double-apply at ``b``.
+        """
+        return tuple(
+            d for d in self._by_service.get(service, ()) if d.active_at(t)
+        )
+
     def factor_at(self, service: str, t: float) -> float:
         """Combined slowdown factor for ``service`` at simulation time ``t``.
 
         Overlapping windows multiply (two concurrent faults compound).
         """
         factor = 1.0
-        for d in self._by_service.get(service, ()):
-            if d.active_at(t):
-                factor *= d.factor
+        for d in self.active(service, t):
+            factor *= d.factor
         return factor
 
     @property

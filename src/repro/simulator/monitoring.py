@@ -56,6 +56,10 @@ class MonitoringAgent:
             raise SimulationError(f"agent on {self.host!r} monitors no services")
         if not self.t_data > 0:
             raise SimulationError("t_data must be > 0")
+        if self.measurement_noise < 0:
+            raise SimulationError(
+                f"measurement_noise must be >= 0, got {self.measurement_noise}"
+            )
         if not 0.0 <= self.reporting_loss < 1.0:
             raise SimulationError("reporting_loss must be in [0, 1)")
 

@@ -79,3 +79,85 @@ def test_inject_degradation_validation():
         inject_degradation(env, "X1", 0.0)
     with pytest.raises(ReproError):
         inject_degradation(env, "ghost", 2.0)
+
+
+def test_environment_scale_service_is_the_mutation_point():
+    # inject_degradation and the manager's execute step both go through
+    # SimulatedEnvironment.scale_service — no half-built manager objects.
+    env = ediamond_scenario()
+    before = {s.name: s.delay for s in env.services}
+    env.scale_service("X3", 2.0)
+    after = {s.name: s.delay for s in env.services}
+    assert after["X3"] is not before["X3"]
+    assert all(after[n] is before[n] for n in before if n != "X3")
+    with pytest.raises(ReproError):
+        env.scale_service("X3", 0.0)
+    with pytest.raises(ReproError):
+        env.scale_service("ghost", 0.5)
+
+
+def _all_nan_window(env, n):
+    from repro.bn.data import Dataset
+
+    cols = {s: np.full(n, np.nan) for s in env.service_names}
+    cols[env.response] = np.full(n, np.nan)
+    return Dataset(cols)
+
+
+def test_unlearnable_window_survives_and_reuses_reference():
+    """Acceptance: a cycle with an all-NaN window must not crash the MAPE
+    loop — the manager degrades to the last healthy model and resumes."""
+    env = ediamond_scenario()
+    policy = SLAPolicy(threshold=6.0, max_violation_prob=0.3)
+    mgr = AutonomicManager(env, policy, window_points=120, rng=5)
+    healthy = mgr.run_cycle()
+    assert not healthy.degraded
+    reference = mgr._reference_model
+    assert reference is not None
+
+    env.simulate = lambda n, rng=None: _all_nan_window(env, n)
+    degraded = mgr.run_cycle()
+    assert degraded.degraded
+    assert "no finite values" in degraded.incident
+    assert degraded.model is reference       # last healthy model reused
+    assert not degraded.acted
+    assert np.isfinite(degraded.violation_prob)
+    assert mgr._reference_model is reference  # NaN cycle never promoted
+
+    del env.simulate                         # restore the real method
+    recovered = mgr.run_cycle()
+    assert not recovered.degraded
+    assert [r.cycle for r in mgr.history] == [0, 1, 2]
+
+
+def test_rebuild_exception_degrades_cycle(monkeypatch):
+    from repro.core import manager as manager_mod
+    from repro.exceptions import LearningError
+
+    env = ediamond_scenario()
+    policy = SLAPolicy(threshold=6.0, max_violation_prob=0.3)
+    mgr = AutonomicManager(env, policy, window_points=120, rng=6)
+    mgr.run_cycle()
+
+    def boom(workflow, data):
+        raise LearningError("degenerate covariance")
+
+    monkeypatch.setattr(manager_mod, "build_continuous_kertbn", boom)
+    report = mgr.run_cycle()
+    assert report.degraded
+    assert "model rebuild failed" in report.incident
+    assert "degenerate covariance" in report.incident
+    assert not report.acted
+
+
+def test_degraded_cycle_without_reference_reports_nan():
+    env = ediamond_scenario()
+    policy = SLAPolicy(threshold=6.0, max_violation_prob=0.3)
+    mgr = AutonomicManager(env, policy, window_points=120, rng=7)
+    env.simulate = lambda n, rng=None: _all_nan_window(env, n)
+    report = mgr.run_cycle()   # very first cycle already unlearnable
+    assert report.degraded
+    assert report.model is None
+    assert np.isnan(report.violation_prob)
+    assert np.isnan(report.expected_response)
+    assert len(mgr.history) == 1

@@ -186,3 +186,22 @@ def test_parallel_unknown_node_rejected(ediamond_env, ediamond_data):
     dag = ediamond_env.knowledge_structure()
     with pytest.raises(LearningError):
         parallel_parameter_learning(dag, train, nodes=["nope"])
+
+
+def test_parallel_empty_nodes_rejected(ediamond_env, ediamond_data):
+    train, _ = ediamond_data
+    dag = ediamond_env.knowledge_structure()
+    with pytest.raises(LearningError):
+        parallel_parameter_learning(dag, train, nodes=[])
+
+
+def test_parallel_nonpositive_processes_rejected(ediamond_env, ediamond_data):
+    # processes=0 must surface as a LearningError, not multiprocessing's
+    # raw ValueError from Pool construction.
+    train, _ = ediamond_data
+    dag = ediamond_env.knowledge_structure()
+    service_dag = dag.subgraph([n for n in dag.nodes if n != "D"])
+    with pytest.raises(LearningError):
+        parallel_parameter_learning(service_dag, train, processes=0)
+    with pytest.raises(LearningError):
+        parallel_parameter_learning(service_dag, train, processes=-2)

@@ -41,6 +41,34 @@ def test_factor_at_windows():
     assert set(sched.services) == {"a", "b"}
 
 
+def test_window_boundaries_half_open():
+    """Windows are [start, end): active at t == start, inactive at t == end,
+    so back-to-back windows never double-apply at the seam."""
+    sched = FaultSchedule(
+        (
+            Degradation("a", 10.0, 20.0, 3.0),
+            Degradation("a", 20.0, 30.0, 2.0),
+        )
+    )
+    assert sched.factor_at("a", 10.0) == 3.0        # t == start: active
+    assert sched.factor_at("a", 20.0) == 2.0        # seam: only the second
+    assert sched.factor_at("a", 30.0) == 1.0        # t == end: inactive
+    assert sched.active("a", 10.0) == (sched.degradations[0],)
+    assert sched.active("a", 20.0) == (sched.degradations[1],)
+    assert sched.active("a", 30.0) == ()
+
+
+def test_overlapping_windows_compound_and_report():
+    first = Degradation("a", 0.0, 10.0, 2.0)
+    second = Degradation("a", 5.0, 15.0, 3.0)
+    sched = FaultSchedule((first, second))
+    assert sched.active("a", 7.0) == (first, second)
+    assert sched.factor_at("a", 7.0) == 6.0
+    assert sched.factor_at("a", 5.0) == 6.0          # second starts: both on
+    assert sched.factor_at("a", 10.0) == 3.0         # first ends: one left
+    assert sched.active("b", 7.0) == ()
+
+
 def test_outage_convenience_and_merge():
     s1 = FaultSchedule.outage("a", 10.0, 5.0, factor=4.0)
     s2 = FaultSchedule.outage("b", 0.0, 1.0)

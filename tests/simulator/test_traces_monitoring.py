@@ -114,6 +114,8 @@ def test_agent_validation():
         MonitoringAgent(host="h", services=("a",), t_data=0)
     with pytest.raises(SimulationError):
         MonitoringAgent(host="h", services=("a",), reporting_loss=1.0)
+    with pytest.raises(SimulationError):
+        MonitoringAgent(host="h", services=("a",), measurement_noise=-0.1)
 
 
 def test_management_server_assembles_complete_rows(rng):
@@ -142,6 +144,26 @@ def test_management_server_missing_reports_become_nan(rng):
     assert np.isnan(data["b"]).all()
     with pytest.raises(SimulationError):
         server.assemble(require_complete=True)
+
+
+def test_assemble_require_complete_every_row_partial():
+    # Each transaction misses a *different* service, so no row is
+    # complete; require_complete must say so, not return zero rows.
+    rs = records(4)
+    server = ManagementServer(services=("a", "b"))
+    from repro.simulator.monitoring import Measurement
+
+    for i, r in enumerate(rs):
+        service = "a" if i % 2 == 0 else "b"
+        server.collect([Measurement(r.request_id, service, 1.0, r.completion)])
+    server.collect_responses(rs)
+    with pytest.raises(SimulationError):
+        server.assemble(require_complete=True)
+    # The permissive path still yields all rows, NaN-filled.
+    data = server.assemble()
+    assert data.n_rows == 4
+    assert np.isnan(data["a"]).sum() == 2
+    assert np.isnan(data["b"]).sum() == 2
 
 
 def test_management_server_validation(rng):
