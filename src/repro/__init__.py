@@ -17,6 +17,9 @@ The package provides:
 - :mod:`repro.decentralized` — decentralized parameter learning
   (Section 3.4) with per-agent timing accounting.
 - :mod:`repro.apps` — the dComp and pAccel applications (Section 5).
+- :mod:`repro.serving` — the resilient model-serving layer: versioned
+  registry with rollback, guarded queries with a tiered fallback chain,
+  circuit breakers / admission control, and data-quality quarantine.
 
 Quickstart
 ----------
@@ -47,8 +50,20 @@ from repro.simulator.scenarios.ediamond import ediamond_scenario
 from repro.simulator.scenarios.random_env import random_environment
 from repro.apps.dcomp import DComp
 from repro.apps.paccel import PAccel
+from repro.serving import (
+    AccuracyTripwire,
+    DataQualityGate,
+    FallbackChain,
+    ModelRegistry,
+    ModelServer,
+)
 
 __all__ = [
+    "AccuracyTripwire",
+    "DataQualityGate",
+    "FallbackChain",
+    "ModelRegistry",
+    "ModelServer",
     "__version__",
     "KERTBN",
     "build_continuous_kertbn",

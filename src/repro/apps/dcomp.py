@@ -135,6 +135,48 @@ class DComp:
             )
         return results
 
+    def posterior_batch_guarded(
+        self,
+        variable: str,
+        observed_means_rows: "Sequence[Mapping[str, float]]",
+    ):
+        """:meth:`posterior_batch` behind the serving guard layer.
+
+        Malformed rows (unknown services, NaN means, the target variable
+        listed as observed) are rejected individually with reasons
+        instead of failing the whole batch; clean rows are answered.
+        Returns a :class:`repro.serving.guards.GuardedBatch` whose
+        ``results`` align with ``kept_indices``.
+        """
+        from repro.serving.guards import GuardedBatch, sanitize_rows
+
+        network = self.model.network
+        if not isinstance(network, DiscreteBayesianNetwork):
+            raise InferenceError("posterior_batch needs the discrete KERT-BN")
+        sanitized = sanitize_rows(
+            observed_means_rows,
+            known=frozenset(map(str, network.nodes)),
+            forbid={str(variable)},
+            binned=False,
+        )
+        # The vectorized kernel needs one evidence signature per call;
+        # guarded batches may mix signatures, so group and reassemble.
+        results: "list[DCompResult | None]" = [None] * len(sanitized.rows)
+        groups: "dict[tuple, list[int]]" = {}
+        for j, row in enumerate(sanitized.rows):
+            groups.setdefault(tuple(sorted(map(str, row))), []).append(j)
+        for members in groups.values():
+            group_results = self.posterior_batch(
+                variable, [sanitized.rows[j] for j in members]
+            )
+            for j, res in zip(members, group_results):
+                results[j] = res
+        return GuardedBatch(
+            results=results,
+            kept_indices=sanitized.kept_indices,
+            rejections=sanitized.rejections,
+        )
+
     # ------------------------------------------------------------------ #
 
     def _discrete(self, variable: str, observed_means: Mapping[str, float]) -> DCompResult:

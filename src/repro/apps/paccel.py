@@ -187,6 +187,43 @@ class PAccel:
             )
         return results
 
+    def project_batch_guarded(
+        self, predicted_means_rows: "Sequence[Mapping[str, float]]"
+    ):
+        """:meth:`project_batch` behind the serving guard layer.
+
+        Malformed candidate rows (unknown services, NaN predictions,
+        conditioning on the response) are rejected per row with reasons;
+        clean rows — even with differing service sets — are projected.
+        Returns a :class:`repro.serving.guards.GuardedBatch`.
+        """
+        from repro.serving.guards import GuardedBatch, sanitize_rows
+
+        network = self.model.network
+        if not isinstance(network, DiscreteBayesianNetwork):
+            raise InferenceError("project_batch needs the discrete KERT-BN")
+        sanitized = sanitize_rows(
+            predicted_means_rows,
+            known=frozenset(map(str, network.nodes)),
+            forbid={str(self.model.response)},
+            binned=False,
+        )
+        results: "list[PAccelResult | None]" = [None] * len(sanitized.rows)
+        groups: "dict[tuple, list[int]]" = {}
+        for j, row in enumerate(sanitized.rows):
+            groups.setdefault(tuple(sorted(map(str, row))), []).append(j)
+        for members in groups.values():
+            group_results = self.project_batch(
+                [sanitized.rows[j] for j in members]
+            )
+            for j, res in zip(members, group_results):
+                results[j] = res
+        return GuardedBatch(
+            results=results,
+            kept_indices=sanitized.kept_indices,
+            rejections=sanitized.rejections,
+        )
+
     def _hybrid(
         self, predicted_means: Mapping[str, float], n_samples: int, rng
     ) -> PAccelResult:

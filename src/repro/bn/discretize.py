@@ -32,6 +32,57 @@ class Discretizer:
 
     # ------------------------------------------------------------------ #
 
+    @classmethod
+    def from_edges(
+        cls,
+        edges: "Mapping[str, Iterable[float]]",
+        centers: "Mapping[str, Iterable[float]] | None" = None,
+        strategy: str = "quantile",
+    ) -> "Discretizer":
+        """Build a fitted discretizer directly from per-column bin edges.
+
+        This is the public counterpart of :meth:`fit` for edges that come
+        from elsewhere (a persisted bundle, a hand-written spec).  Each
+        column needs at least two edges (one bin — single-bin columns are
+        legal here even though :meth:`fit` always produces two or more);
+        ``centers`` defaults to bin midpoints.
+        """
+        edge_map = {str(c): np.asarray(v, dtype=float) for c, v in edges.items()}
+        if not edge_map:
+            raise DataError("from_edges needs at least one column")
+        for col, e in edge_map.items():
+            if e.ndim != 1 or e.size < 2:
+                raise DataError(
+                    f"column {col!r} needs >= 2 edges (got shape {e.shape})"
+                )
+            if not np.all(np.isfinite(e)):
+                raise DataError(f"column {col!r} has non-finite edges")
+            if not np.all(np.diff(e) > 0):
+                raise DataError(f"column {col!r} edges must be strictly increasing")
+        center_map: dict[str, np.ndarray] = {}
+        for col, e in edge_map.items():
+            if centers is not None and col in centers:
+                c = np.asarray(centers[col], dtype=float)
+                if c.shape != (e.size - 1,):
+                    raise DataError(
+                        f"column {col!r} has {e.size - 1} bins but "
+                        f"{c.size} centers"
+                    )
+            else:
+                c = 0.5 * (e[:-1] + e[1:])
+            center_map[col] = c
+        if centers is not None:
+            extra = set(map(str, centers)) - set(edge_map)
+            if extra:
+                raise DataError(f"centers name unknown columns {sorted(extra)}")
+        disc = cls(
+            n_bins=max(2, max(e.size - 1 for e in edge_map.values())),
+            strategy=strategy,
+        )
+        disc._edges = edge_map
+        disc._centers = center_map
+        return disc
+
     @property
     def fitted(self) -> bool:
         return bool(self._edges)

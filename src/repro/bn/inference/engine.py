@@ -95,6 +95,13 @@ class CompiledDiscreteModel:
             self._labels = dict(zip(self._nodes, string.ascii_letters))
         else:  # pragma: no cover - exercised only by very large networks
             self._labels = {}
+        #: Failure-signalling hook for the serving layer: when set, it is
+        #: invoked as ``hook(kind, variables, evidence)`` at the top of
+        #: every evidence query (``kind`` is ``"query"`` or ``"batch"``).
+        #: An exception raised by the hook propagates exactly like an
+        #: internal engine fault, which is what chaos tests use to inject
+        #: deterministic engine failures without monkeypatching numerics.
+        self.failure_hook = None
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -198,6 +205,8 @@ class CompiledDiscreteModel:
                 raise InferenceError(
                     f"state {s} out of range for {v!r} (card {self._cards[v]})"
                 )
+        if self.failure_hook is not None:
+            self.failure_hook("query", variables, evidence)
         plan = self._plan(variables, frozenset(evidence))
         if not self._use_einsum:  # pragma: no cover - large-network fallback
             values = self._eliminate(plan, evidence)
@@ -249,6 +258,8 @@ class CompiledDiscreteModel:
                 raise InferenceError(
                     f"evidence states for {v!r} out of range (card {self._cards[v]})"
                 )
+        if self.failure_hook is not None:
+            self.failure_hook("batch", variables, columns)
         plan = self._plan(variables, frozenset(columns))
         if not self._use_einsum:  # pragma: no cover - large-network fallback
             out = np.stack(
@@ -274,6 +285,35 @@ class CompiledDiscreteModel:
                 f"evidence has zero probability under the model at rows {bad[:5].tolist()}"
             )
         return out / totals.reshape((n,) + (1,) * len(plan.out_shape))
+
+    def query_via_sweep(
+        self,
+        variables: Iterable[str],
+        evidence: "Mapping[str, int] | None" = None,
+    ) -> DiscreteFactor:
+        """Answer via the plan-guided factor-algebra sweep, regardless of
+        einsum availability.
+
+        Semantically identical to :meth:`query` but routed through
+        :class:`~repro.bn.factors.DiscreteFactor` operations instead of
+        the single einsum kernel.  The serving layer's fallback chain uses
+        this as an independent backend when the compiled kernel faults;
+        :attr:`failure_hook` deliberately does not fire here.
+        """
+        variables = tuple(str(v) for v in variables)
+        evidence = {str(k): int(v) for k, v in (evidence or {}).items()}
+        self._validate(variables, evidence)
+        for v, s in evidence.items():
+            if not 0 <= s < self._cards[v]:
+                raise InferenceError(
+                    f"state {s} out of range for {v!r} (card {self._cards[v]})"
+                )
+        plan = self._plan(variables, frozenset(evidence))
+        values = self._eliminate(plan, evidence)
+        total = float(values.sum())
+        if total <= 0:
+            raise InferenceError("evidence has zero probability under the model")
+        return DiscreteFactor(variables, plan.out_shape, values / total)
 
     def prior(self, variable: str) -> DiscreteFactor:
         """Cached evidence-free marginal ``P(variable)``."""

@@ -14,6 +14,8 @@ Subcommands
 - ``score``            — test log10-likelihood of a saved model.
 - ``assess``           — response-time assessment / violation probability.
 - ``dcomp``            — posterior of an unobservable service.
+- ``registry``         — versioned model store: list/publish/activate/rollback.
+- ``serve``            — guarded one-shot query through the fallback chain.
 
 Example
 -------
@@ -197,6 +199,81 @@ def cmd_localize(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_registry(args: argparse.Namespace) -> int:
+    from repro.core.persistence import load_model
+    from repro.serving.registry import ModelRegistry
+
+    reg = ModelRegistry(args.root, keep=args.keep)
+    if args.action == "list":
+        if not reg.versions():
+            print("registry is empty")
+            return 0
+        for info in reg.versions():
+            marker = "*" if info.version == reg.active_version else " "
+            health = "healthy" if info.healthy else f"UNHEALTHY ({info.reason})"
+            print(
+                f"{marker} v{info.version:<6d} {info.model_kind:<22s} {health}"
+            )
+        return 0
+    if args.action == "publish":
+        if not args.model:
+            raise SystemExit("registry publish needs --model BUNDLE.json")
+        version = reg.publish(load_model(args.model), activate=not args.no_activate)
+        print(f"published v{version}"
+              + ("" if args.no_activate else " (active)"))
+        return 0
+    if args.action == "activate":
+        if args.version is None:
+            raise SystemExit("registry activate needs --version N")
+        reg.activate(args.version)
+        print(f"active: v{reg.active_version}")
+        return 0
+    # rollback
+    target = reg.rollback(reason=args.reason)
+    print(f"rolled back; active: v{target}")
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.core.persistence import load_model
+    from repro.serving.registry import ModelRegistry
+    from repro.serving.server import ModelServer
+
+    if bool(args.model) == bool(args.registry):
+        raise SystemExit("serve needs exactly one of --model / --registry")
+    source = (
+        load_model(args.model) if args.model else ModelRegistry(args.registry)
+    )
+    server = ModelServer(source, deadline_seconds=args.deadline, rng=args.seed)
+    evidence = _parse_assignments(args.observe)
+    if args.threshold is not None:
+        result = server.violation_prob(args.threshold, evidence or None)
+        label = f"P(D>{args.threshold:g})"
+    else:
+        result = server.query([args.target or server.model.response], evidence)
+        label = f"P({args.target or server.model.response})"
+    if server.version is not None:
+        print(f"serving: v{server.version}")
+    print(f"status: {result.status}")
+    if result.status == "rejected":
+        for reason in result.reasons:
+            print(f"  reason: {reason}")
+        return 1
+    if result.status != "ok":
+        for tier, err in result.tier_errors.items():
+            print(f"  {tier}: {err}")
+        return 1
+    print(f"tier: {result.tier}" + (" (approximate)" if result.approximate else ""))
+    for tier, err in result.tier_errors.items():
+        print(f"  degraded past {tier}: {err}")
+    if np.ndim(result.value) == 0:
+        print(f"{label}={float(result.value):.4f}")
+    else:
+        pmf = np.asarray(result.value, dtype=float).ravel()
+        print(f"{label}=[{', '.join(f'{p:.4f}' for p in pmf)}]")
+    return 0
+
+
 # --------------------------------------------------------------------- #
 # Parser wiring
 # --------------------------------------------------------------------- #
@@ -264,6 +341,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--observe", action="append", metavar="NAME=VALUE")
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(fn=cmd_dcomp)
+
+    p = sub.add_parser("registry", help="versioned model registry")
+    p.add_argument("action", choices=("list", "publish", "activate", "rollback"))
+    p.add_argument("--root", required=True, help="registry directory")
+    p.add_argument("--model", help="bundle to publish")
+    p.add_argument("--version", type=int, help="version to activate")
+    p.add_argument("--keep", type=int, default=5, help="retention (last N)")
+    p.add_argument("--no-activate", action="store_true",
+                   help="publish without activating")
+    p.add_argument("--reason", default="operator rollback",
+                   help="reason recorded on rollback")
+    p.set_defaults(fn=cmd_registry)
+
+    p = sub.add_parser("serve", help="guarded query with fallback chain")
+    p.add_argument("--model", help="serve one bundle file")
+    p.add_argument("--registry", help="serve a registry's active version")
+    p.add_argument("--target", help="query variable (default: the response)")
+    p.add_argument("--observe", action="append", metavar="NAME=VALUE",
+                   help="evidence as raw measurement means")
+    p.add_argument("--threshold", type=float,
+                   help="print P(D > threshold) instead of a pmf")
+    p.add_argument("--deadline", type=float, default=None,
+                   help="per-query deadline in seconds")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=cmd_serve)
 
     return parser
 

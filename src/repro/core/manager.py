@@ -71,6 +71,11 @@ class CycleReport:
     model: "KERTBN | None" = None
     degraded: bool = False
     incident: "str | None" = None
+    # Serving-layer outcomes (defaults keep pre-serving callers working).
+    quarantined: bool = False            # window refused by the quality gate
+    window_verdict: object = None        # the gate's WindowVerdict, if gated
+    published_version: "int | None" = None  # registry version this cycle made
+    rolled_back: bool = False            # accuracy tripwire reverted it
 
     @property
     def acted(self) -> bool:
@@ -86,13 +91,31 @@ class AutonomicManager:
         policy: SLAPolicy,
         window_points: int = 300,
         rng=None,
+        registry=None,
+        quality_gate=None,
+        tripwire_max_regression: float = 0.5,
     ):
+        """``registry`` (a :class:`repro.serving.ModelRegistry`) makes
+        every healthy rebuild a published version, checked by an
+        accuracy tripwire that auto-rolls back regressions;
+        ``quality_gate`` (a :class:`repro.serving.DataQualityGate`)
+        screens each monitoring window before it reaches learning —
+        refused windows become degraded, quarantined cycles."""
         if window_points < 10:
             raise ReproError("window_points must be >= 10")
         self.env = environment
         self.policy = policy
         self.window_points = int(window_points)
         self.rng = ensure_rng(rng)
+        self.registry = registry
+        self.quality_gate = quality_gate
+        self._tripwire = None
+        if registry is not None:
+            from repro.serving.quality import AccuracyTripwire
+
+            self._tripwire = AccuracyTripwire(
+                registry, max_regression=tripwire_max_regression
+            )
         self.history: list[CycleReport] = []
         # Localization compares *current* observations against the last
         # model built while the SLA held — a freshly rebuilt model already
@@ -145,6 +168,19 @@ class AutonomicManager:
         cycle = len(self.history)
         # Monitor: fresh window from the live environment.
         data = self.env.simulate(self.window_points, rng=self.rng)
+        # Quality gate: a poisoned window is quarantined before it can
+        # corrupt the rebuild — the cycle degrades instead of learning.
+        verdict = None
+        if self.quality_gate is not None:
+            verdict = self.quality_gate.inspect(data)
+            if not verdict.accepted:
+                report = self._degraded_report(
+                    cycle,
+                    "window quarantined: " + "; ".join(verdict.reasons),
+                )
+                report.quarantined = True
+                report.window_verdict = verdict
+                return report
         # Analyze: rebuild the model (reconstruction, not update) + assess.
         incident = self._unlearnable(data)
         if incident is not None:
@@ -161,7 +197,19 @@ class AutonomicManager:
             violation_prob=p_violation,
             expected_response=expected,
             model=model,
+            window_verdict=verdict,
         )
+        if self._tripwire is not None:
+            outcome = self._tripwire.publish_checked(
+                model, data, metadata={"cycle": cycle}
+            )
+            report.published_version = outcome.version
+            report.rolled_back = outcome.rolled_back
+            if outcome.rolled_back:
+                report.incident = (
+                    f"published v{outcome.version} rolled back: "
+                    f"{outcome.detail}"
+                )
         if p_violation > self.policy.max_violation_prob:
             # Plan: blame ranking against the last healthy model, then the
             # *mildest* sufficient speedup.
@@ -211,6 +259,21 @@ class AutonomicManager:
         if n_cycles < 1:
             raise ReproError("need >= 1 cycle")
         return [self.run_cycle() for _ in range(n_cycles)]
+
+    def model_server(self, **kwargs):
+        """A guarded :class:`repro.serving.ModelServer` over this
+        manager's models — registry-backed when a registry is attached
+        (so rollbacks propagate via ``refresh()``), otherwise over the
+        last healthy reference model."""
+        from repro.serving.server import ModelServer
+
+        if self.registry is not None and self.registry.active_version is not None:
+            return ModelServer(self.registry, **kwargs)
+        if self._reference_model is not None:
+            return ModelServer(self._reference_model, **kwargs)
+        raise ReproError(
+            "no model to serve yet: run a healthy cycle first"
+        )
 
     # ------------------------------------------------------------------ #
 

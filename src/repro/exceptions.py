@@ -44,3 +44,8 @@ class DataError(ReproError):
 
 class SchedulingError(ReproError):
     """Model (re)construction schedule misconfiguration."""
+
+
+class ServingError(ReproError):
+    """Model-serving layer failure (registry misuse, exhausted fallback
+    chain, shed/denied queries surfaced in strict mode, ...)."""

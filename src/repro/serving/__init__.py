@@ -1,0 +1,85 @@
+"""Resilient model-serving layer.
+
+Everything between a learned model and the autonomic components that
+query it: the versioned :class:`ModelRegistry`, the guarded
+:class:`ModelServer` front-end with its tiered :class:`FallbackChain`,
+deterministic :class:`CircuitBreaker` / :class:`AdmissionController`
+load protection, and the :class:`DataQualityGate` +
+:class:`AccuracyTripwire` pair that keep poisoned monitoring windows
+and regressed models out of production.
+"""
+
+from repro.serving.breaker import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    AdmissionController,
+    CircuitBreaker,
+)
+from repro.serving.fallback import (
+    CHAIN,
+    TIER_COMPILED,
+    TIER_PRIOR,
+    TIER_SAMPLING,
+    TIER_SWEEP,
+    FallbackChain,
+    TierAnswer,
+)
+from repro.serving.guards import (
+    GuardedBatch,
+    RowRejection,
+    SanitizedBatch,
+    check_row,
+    sanitize_rows,
+)
+from repro.serving.quality import (
+    AccuracyTripwire,
+    DataQualityGate,
+    PublishOutcome,
+    WindowVerdict,
+)
+from repro.serving.registry import ModelRegistry, VersionInfo
+from repro.serving.server import (
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_REJECTED,
+    STATUS_SHED,
+    TIER_ANALYTIC,
+    ModelServer,
+    QueryResult,
+    ServerStats,
+)
+
+__all__ = [
+    "AccuracyTripwire",
+    "AdmissionController",
+    "CHAIN",
+    "CLOSED",
+    "CircuitBreaker",
+    "DataQualityGate",
+    "FallbackChain",
+    "GuardedBatch",
+    "HALF_OPEN",
+    "ModelRegistry",
+    "ModelServer",
+    "OPEN",
+    "PublishOutcome",
+    "QueryResult",
+    "RowRejection",
+    "SanitizedBatch",
+    "ServerStats",
+    "STATUS_FAILED",
+    "STATUS_OK",
+    "STATUS_REJECTED",
+    "STATUS_SHED",
+    "TIER_ANALYTIC",
+    "TIER_COMPILED",
+    "TIER_PRIOR",
+    "TIER_SAMPLING",
+    "TIER_SWEEP",
+    "TierAnswer",
+    "VersionInfo",
+    "WindowVerdict",
+    "check_row",
+    "sanitize_rows",
+]

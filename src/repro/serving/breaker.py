@@ -1,0 +1,140 @@
+"""Circuit breaking and admission control for the serving path.
+
+Both mechanisms are *deterministic* so chaos tests replay exactly:
+
+- :class:`CircuitBreaker` counts consecutive failures per backend and
+  measures its cooldown in **calls**, not wall-clock seconds — a tripped
+  backend is skipped for the next ``cooldown`` attempts, then allowed
+  one half-open trial;
+- :class:`AdmissionController` sheds load from a *seeded* RNG once the
+  recent overload fraction (deadline overruns, total failures) crosses a
+  threshold, so overload degrades to a bounded, reproducible trickle of
+  refusals instead of an unbounded queue.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.exceptions import ServingError
+from repro.utils.rng import ensure_rng
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Count-based breaker guarding one backend tier.
+
+    ``failure_threshold`` consecutive failures open the circuit; while
+    open, :meth:`allow` refuses the next ``cooldown`` calls, then lets a
+    single half-open probe through.  A successful probe closes the
+    circuit; a failed one re-opens it for a fresh cooldown.
+    """
+
+    def __init__(self, failure_threshold: int = 3, cooldown: int = 10):
+        if failure_threshold < 1:
+            raise ServingError("failure_threshold must be >= 1")
+        if cooldown < 1:
+            raise ServingError("cooldown must be >= 1")
+        self.failure_threshold = int(failure_threshold)
+        self.cooldown = int(cooldown)
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._cooldown_remaining = 0
+        self.n_trips = 0
+        self.n_refused = 0
+
+    @property
+    def state(self) -> str:
+        return self._state
+
+    def allow(self) -> bool:
+        """May the guarded backend be attempted right now?"""
+        if self._state == CLOSED:
+            return True
+        if self._state == OPEN:
+            if self._cooldown_remaining > 0:
+                self._cooldown_remaining -= 1
+                self.n_refused += 1
+                return False
+            self._state = HALF_OPEN
+            return True
+        # HALF_OPEN: exactly one probe is in flight per cooldown lapse;
+        # further callers wait for its outcome.
+        self.n_refused += 1
+        return False
+
+    def record_success(self) -> None:
+        self._consecutive_failures = 0
+        self._state = CLOSED
+
+    def record_failure(self) -> None:
+        self._consecutive_failures += 1
+        if (
+            self._state == HALF_OPEN
+            or self._consecutive_failures >= self.failure_threshold
+        ):
+            self._state = OPEN
+            self._cooldown_remaining = self.cooldown
+            self._consecutive_failures = 0
+            self.n_trips += 1
+
+
+class AdmissionController:
+    """Deterministic, seeded load shedding.
+
+    Tracks the last ``window`` query outcomes (``True`` = overload
+    signal: deadline overrun or every-tier failure).  When the overload
+    fraction reaches ``overload_threshold``, each incoming query is shed
+    with probability ``shed_fraction`` drawn from the seeded RNG —
+    deterministic under a fixed seed, testable, and bounded (admitted
+    work keeps flowing at ``1 - shed_fraction``).
+    """
+
+    def __init__(
+        self,
+        window: int = 50,
+        overload_threshold: float = 0.5,
+        shed_fraction: float = 0.5,
+        rng=None,
+    ):
+        if window < 1:
+            raise ServingError("window must be >= 1")
+        if not 0.0 < overload_threshold <= 1.0:
+            raise ServingError("overload_threshold must be in (0, 1]")
+        if not 0.0 <= shed_fraction <= 1.0:
+            raise ServingError("shed_fraction must be in [0, 1]")
+        self.window = int(window)
+        self.overload_threshold = float(overload_threshold)
+        self.shed_fraction = float(shed_fraction)
+        self.rng = ensure_rng(rng)
+        self._outcomes: deque = deque(maxlen=self.window)
+        self.n_shed = 0
+        self.n_admitted = 0
+
+    @property
+    def overload_fraction(self) -> float:
+        if not self._outcomes:
+            return 0.0
+        return sum(self._outcomes) / len(self._outcomes)
+
+    @property
+    def overloaded(self) -> bool:
+        return (
+            len(self._outcomes) >= self.window
+            and self.overload_fraction >= self.overload_threshold
+        )
+
+    def admit(self) -> bool:
+        """Admission decision for one incoming query."""
+        if self.overloaded and self.rng.random() < self.shed_fraction:
+            self.n_shed += 1
+            return False
+        self.n_admitted += 1
+        return True
+
+    def record(self, overloaded: bool) -> None:
+        """Report one completed query's overload signal."""
+        self._outcomes.append(bool(overloaded))

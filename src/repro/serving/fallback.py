@@ -1,0 +1,198 @@
+"""The serving fallback chain: four independent ways to answer a query.
+
+A resilient server never lets one broken backend take down the whole
+query surface.  Discrete posterior queries walk a chain of tiers, each
+strictly cheaper in assumptions than the one before:
+
+1. ``compiled-einsum`` — the compile-once einsum kernel
+   (:class:`~repro.bn.inference.engine.CompiledDiscreteModel.query`);
+2. ``factor-sweep`` — the plan-guided factor-algebra elimination sweep
+   (:meth:`~repro.bn.inference.engine.CompiledDiscreteModel.query_via_sweep`),
+   an independent numeric path through the same plans;
+3. ``likelihood-weighting`` — seeded importance sampling straight off
+   the CPDs, needing no compiled artifacts at all;
+4. ``cached-prior`` — evidence-free marginals captured at chain
+   construction (exact when the engine was healthy at startup, forward-
+   sampled otherwise).  Always answers; marked ``approximate``.
+
+Every answer records which tier produced it and what the earlier tiers'
+failures were, so operators can see degradation instead of silently
+eating it.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.bn.inference.sampling import likelihood_weighting
+from repro.exceptions import InferenceError, ServingError
+from repro.utils.rng import ensure_rng
+
+TIER_COMPILED = "compiled-einsum"
+TIER_SWEEP = "factor-sweep"
+TIER_SAMPLING = "likelihood-weighting"
+TIER_PRIOR = "cached-prior"
+
+#: Walk order; TIER_PRIOR is terminal and cannot fail.
+CHAIN = (TIER_COMPILED, TIER_SWEEP, TIER_SAMPLING, TIER_PRIOR)
+
+
+@dataclass
+class TierAnswer:
+    """One answered query plus its provenance through the chain."""
+
+    variables: tuple
+    values: np.ndarray           # normalized pmf, axes follow `variables`
+    tier: str                    # which tier answered
+    tier_errors: dict = field(default_factory=dict)  # tier -> error string
+    approximate: bool = False    # sampling / prior answers are approximate
+
+    @property
+    def degraded(self) -> bool:
+        return self.tier != TIER_COMPILED
+
+
+class FallbackChain:
+    """Tiered discrete-query execution over one compiled network."""
+
+    def __init__(
+        self,
+        network,
+        rng=None,
+        n_samples: int = 1500,
+        breakers: "Mapping[str, object] | None" = None,
+    ):
+        if n_samples < 1:
+            raise ServingError("n_samples must be >= 1")
+        self.network = network
+        self.engine = network.compiled()
+        self.n_samples = int(n_samples)
+        self.rng = ensure_rng(rng)
+        #: Optional per-tier circuit breakers ({tier: CircuitBreaker});
+        #: the terminal prior tier is never broken.
+        self.breakers = dict(breakers or {})
+        self._cards = self.engine.cardinalities
+        self._priors = self._capture_priors()
+
+    # ------------------------------------------------------------------ #
+
+    def _capture_priors(self) -> dict:
+        """Per-node evidence-free marginals, captured once at startup.
+
+        Exact engine marginals when the engine is healthy (the normal
+        case: the chain is built right after the model is); a seeded
+        forward-sampling histogram if even that fails, so the terminal
+        tier exists no matter what.
+        """
+        priors: dict[str, np.ndarray] = {}
+        pending = list(self.engine.nodes)
+        for node in list(pending):
+            try:
+                priors[node] = self.engine.prior(node).values
+                pending.remove(node)
+            except Exception:  # engine already broken at startup
+                break
+        if pending:
+            samples = self.network.sample(max(self.n_samples, 500), self.rng)
+            for node in pending:
+                counts = np.bincount(
+                    np.asarray(samples[node], dtype=int),
+                    minlength=self._cards[node],
+                ).astype(float)
+                priors[node] = counts / counts.sum()
+        return priors
+
+    def prior(self, variables: Sequence[str]) -> np.ndarray:
+        """Cached prior over ``variables`` (product of marginals for
+        joint queries — the terminal tier trades exactness for
+        availability)."""
+        pmf = self._priors[str(variables[0])]
+        for v in variables[1:]:
+            pmf = np.multiply.outer(pmf, self._priors[str(v)])
+        return pmf
+
+    # ------------------------------------------------------------------ #
+
+    def _sampling_pmf(
+        self, variables: tuple, evidence: Mapping[str, int]
+    ) -> np.ndarray:
+        samples, weights = likelihood_weighting(
+            self.network, evidence, n=self.n_samples, rng=self.rng
+        )
+        shape = tuple(self._cards[v] for v in variables)
+        pmf = np.zeros(shape)
+        idx = tuple(np.asarray(samples[v], dtype=int) for v in variables)
+        np.add.at(pmf, idx, weights)
+        total = pmf.sum()
+        if total <= 0:
+            raise InferenceError("all importance weights are zero")
+        return pmf / total
+
+    def _attempt(self, tier: str, variables: tuple, evidence: dict) -> np.ndarray:
+        if tier == TIER_COMPILED:
+            return self.engine.query(variables, evidence).values
+        if tier == TIER_SWEEP:
+            return self.engine.query_via_sweep(variables, evidence).values
+        if tier == TIER_SAMPLING:
+            return self._sampling_pmf(variables, evidence)
+        raise ServingError(f"unknown tier {tier!r}")  # pragma: no cover
+
+    def answer(
+        self,
+        variables: Sequence[str],
+        evidence: "Mapping[str, int] | None" = None,
+        deadline: "float | None" = None,
+    ) -> TierAnswer:
+        """Walk the chain until a tier answers.
+
+        ``evidence`` maps variable → bin state (already validated by the
+        guard layer); ``deadline`` is a ``time.monotonic()`` timestamp —
+        once passed, remaining non-terminal tiers are skipped and the
+        cached prior answers immediately.
+
+        Unknown variables are a *caller* bug, not a backend fault, and
+        raise :class:`InferenceError` outright.
+        """
+        variables = tuple(str(v) for v in variables)
+        unknown = [v for v in variables if v not in self._cards]
+        if not variables or unknown:
+            raise InferenceError(
+                f"bad query variables {list(variables)} (unknown: {unknown})"
+            )
+        evidence = {str(k): int(v) for k, v in (evidence or {}).items()}
+        errors: dict[str, str] = {}
+        for tier in (TIER_COMPILED, TIER_SWEEP, TIER_SAMPLING):
+            if deadline is not None and time.monotonic() > deadline:
+                errors[tier] = "deadline exceeded"
+                continue
+            breaker = self.breakers.get(tier)
+            if breaker is not None and not breaker.allow():
+                errors[tier] = "circuit open"
+                continue
+            try:
+                values = self._attempt(tier, variables, evidence)
+            except Exception as exc:
+                errors[tier] = f"{type(exc).__name__}: {exc}"
+                if breaker is not None:
+                    breaker.record_failure()
+                continue
+            if breaker is not None:
+                breaker.record_success()
+            return TierAnswer(
+                variables=variables,
+                values=values,
+                tier=tier,
+                tier_errors=errors,
+                approximate=tier == TIER_SAMPLING,
+            )
+        return TierAnswer(
+            variables=variables,
+            values=self.prior(variables),
+            tier=TIER_PRIOR,
+            tier_errors=errors,
+            approximate=True,
+        )

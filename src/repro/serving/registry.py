@@ -1,0 +1,257 @@
+"""Versioned model registry on top of :mod:`repro.core.persistence`.
+
+An autonomic manager rebuilds its model every ``T_CON``; swapping the
+live model in place leaves nothing to fall back to when a rebuild turns
+out to be bad.  The registry gives model churn a lifecycle:
+
+- **publish** — atomically write the bundle (temp file + rename) under a
+  monotonic version id and record it in the manifest;
+- **activate** — point the serving path at one published version;
+- **rollback** — one call back to the most recent *healthy* predecessor,
+  marking the abandoned version unhealthy with a reason;
+- **retention** — keep the last N bundles (the active version and its
+  healthy predecessor are never pruned), so long-running deployments do
+  not grow disk without bound.
+
+The manifest itself is plain JSON, rewritten atomically on every
+mutation; a corrupt manifest or bundle surfaces as
+:class:`~repro.exceptions.DataError` naming the offending file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.persistence import (
+    SCHEMA_VERSION,
+    load_model,
+    model_to_dict,
+    write_json_atomic,
+)
+from repro.exceptions import DataError, ServingError
+
+_MANIFEST = "MANIFEST.json"
+
+
+@dataclass
+class VersionInfo:
+    """One published model version's manifest record."""
+
+    version: int
+    file: str
+    model_kind: str
+    healthy: bool = True
+    reason: "str | None" = None
+    published_at: float = 0.0
+    metadata: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "version": self.version,
+            "file": self.file,
+            "model_kind": self.model_kind,
+            "healthy": self.healthy,
+            "reason": self.reason,
+            "published_at": self.published_at,
+            "metadata": dict(self.metadata),
+        }
+
+    @classmethod
+    def from_dict(cls, spec: dict) -> "VersionInfo":
+        return cls(
+            version=int(spec["version"]),
+            file=str(spec["file"]),
+            model_kind=str(spec["model_kind"]),
+            healthy=bool(spec["healthy"]),
+            reason=spec.get("reason"),
+            published_at=float(spec.get("published_at", 0.0)),
+            metadata=dict(spec.get("metadata", {})),
+        )
+
+
+class ModelRegistry:
+    """Filesystem-backed versioned store of model bundles."""
+
+    def __init__(self, root: str, keep: int = 5):
+        if keep < 2:
+            raise ServingError("keep must be >= 2 (active + rollback target)")
+        self.root = str(root)
+        self.keep = int(keep)
+        os.makedirs(self.root, exist_ok=True)
+        self._manifest_path = os.path.join(self.root, _MANIFEST)
+        self._load_manifest()
+
+    # ------------------------------------------------------------------ #
+    # Manifest I/O
+    # ------------------------------------------------------------------ #
+
+    def _load_manifest(self) -> None:
+        if not os.path.exists(self._manifest_path):
+            self._next_version = 1
+            self._active: "int | None" = None
+            self._versions: dict[int, VersionInfo] = {}
+            return
+        with open(self._manifest_path) as fh:
+            try:
+                spec = json.load(fh)
+            except json.JSONDecodeError as exc:
+                raise DataError(
+                    f"registry manifest {self._manifest_path!r} is corrupt: {exc}"
+                ) from exc
+        try:
+            if spec["schema_version"] != SCHEMA_VERSION:
+                raise DataError(
+                    f"registry manifest schema_version "
+                    f"{spec['schema_version']!r} unsupported "
+                    f"(expected {SCHEMA_VERSION})"
+                )
+            self._next_version = int(spec["next_version"])
+            self._active = spec["active"]
+            self._versions = {
+                int(v["version"]): VersionInfo.from_dict(v)
+                for v in spec["versions"]
+            }
+        except KeyError as exc:
+            raise DataError(
+                f"registry manifest {self._manifest_path!r} truncated: "
+                f"missing key {exc.args[0]!r}"
+            ) from exc
+
+    def _write_manifest(self) -> None:
+        write_json_atomic(
+            self._manifest_path,
+            {
+                "schema_version": SCHEMA_VERSION,
+                "next_version": self._next_version,
+                "active": self._active,
+                "versions": [
+                    self._versions[v].to_dict() for v in sorted(self._versions)
+                ],
+            },
+        )
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def active_version(self) -> "int | None":
+        return self._active
+
+    def versions(self) -> "list[VersionInfo]":
+        return [self._versions[v] for v in sorted(self._versions)]
+
+    def info(self, version: int) -> VersionInfo:
+        try:
+            return self._versions[int(version)]
+        except KeyError:
+            raise ServingError(f"unknown registry version {version}") from None
+
+    def previous_healthy(self) -> "int | None":
+        """Most recent healthy version strictly older than the active one."""
+        if self._active is None:
+            return None
+        older = [
+            v
+            for v in sorted(self._versions)
+            if v < self._active and self._versions[v].healthy
+        ]
+        return older[-1] if older else None
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    def publish(
+        self, model, *, activate: bool = True, metadata: "dict | None" = None
+    ) -> int:
+        """Atomically persist ``model`` as the next version.
+
+        The bundle is fully written (temp file + rename) before the
+        manifest mentions it, so a crash mid-publish leaves the registry
+        exactly as it was.
+        """
+        version = self._next_version
+        fname = f"v{version:06d}.json"
+        write_json_atomic(os.path.join(self.root, fname), model_to_dict(model))
+        self._versions[version] = VersionInfo(
+            version=version,
+            file=fname,
+            model_kind=model.report.model_kind,
+            published_at=time.time(),
+            metadata=dict(metadata or {}),
+        )
+        self._next_version = version + 1
+        if activate:
+            self._active = version
+        self._prune()
+        self._write_manifest()
+        return version
+
+    def activate(self, version: int) -> None:
+        info = self.info(version)
+        if not info.healthy:
+            raise ServingError(
+                f"refusing to activate unhealthy version {version} "
+                f"({info.reason})"
+            )
+        self._active = int(version)
+        self._write_manifest()
+
+    def mark_unhealthy(self, version: int, reason: str) -> None:
+        info = self.info(version)
+        info.healthy = False
+        info.reason = str(reason)
+        self._write_manifest()
+
+    def rollback(self, reason: str = "rollback requested") -> int:
+        """One-call rollback: abandon the active version (marked
+        unhealthy with ``reason``) and activate its most recent healthy
+        predecessor.  Returns the version now active."""
+        if self._active is None:
+            raise ServingError("nothing to roll back: no active version")
+        target = self.previous_healthy()
+        if target is None:
+            raise ServingError(
+                f"cannot roll back from version {self._active}: "
+                f"no earlier healthy version exists"
+            )
+        abandoned = self._active
+        self._versions[abandoned].healthy = False
+        self._versions[abandoned].reason = str(reason)
+        self._active = target
+        self._write_manifest()
+        return target
+
+    def load(self, version: "int | None" = None):
+        """Load a bundle (the active version by default) as a usable model."""
+        if version is None:
+            version = self._active
+        if version is None:
+            raise ServingError("registry has no active version to load")
+        info = self.info(version)
+        path = os.path.join(self.root, info.file)
+        if not os.path.exists(path):
+            raise DataError(
+                f"registry version {version} bundle missing on disk: {path!r}"
+            )
+        return load_model(path)
+
+    # ------------------------------------------------------------------ #
+
+    def _prune(self) -> None:
+        """Drop all but the newest ``keep`` versions; the active version
+        and its healthy rollback target always survive."""
+        protected = {self._active, self.previous_healthy()}
+        candidates = sorted(self._versions)
+        excess = [v for v in candidates if v not in protected]
+        n_drop = len(self._versions) - self.keep
+        for v in excess[: max(0, n_drop)]:
+            info = self._versions.pop(v)
+            path = os.path.join(self.root, info.file)
+            if os.path.exists(path):
+                os.remove(path)

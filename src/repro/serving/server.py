@@ -1,0 +1,594 @@
+"""The guarded query front-end: :class:`ModelServer`.
+
+This is the one door through which autonomic components query a live
+model.  Every entry point:
+
+- **validates** evidence through :mod:`repro.serving.guards` (unknown
+  variables, NaN means, out-of-range bins → per-row rejection with
+  reasons, never a crash);
+- **bounds** latency with a per-query deadline — once overrun, the
+  fallback chain stops trying expensive tiers and the cached prior
+  answers;
+- **degrades** through the :class:`~repro.serving.fallback.FallbackChain`
+  on engine failure, recording which tier answered;
+- **sheds** load deterministically via per-tier circuit breakers and a
+  seeded :class:`~repro.serving.breaker.AdmissionController` once the
+  recent overload fraction crosses threshold.
+
+The server can wrap a bare model or a
+:class:`~repro.serving.registry.ModelRegistry` — in the latter case
+:meth:`refresh` follows the registry's active version, which is how a
+rollback propagates to the serving path.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.apps.violation import tail_probability_from_pmf
+from repro.bn.network import DiscreteBayesianNetwork, HybridResponseNetwork
+from repro.exceptions import ServingError
+from repro.serving.breaker import AdmissionController, CircuitBreaker
+from repro.serving.fallback import (
+    CHAIN,
+    TIER_COMPILED,
+    TIER_PRIOR,
+    FallbackChain,
+)
+from repro.serving.guards import RowRejection, check_row, sanitize_rows
+from repro.serving.registry import ModelRegistry
+from repro.utils.rng import ensure_rng
+
+#: Backend label for non-chain (continuous/analytic) answers.
+TIER_ANALYTIC = "analytic"
+
+STATUS_OK = "ok"
+STATUS_REJECTED = "rejected"
+STATUS_SHED = "shed"
+STATUS_FAILED = "failed"
+
+
+@dataclass
+class QueryResult:
+    """One guarded query's outcome — answer or explained refusal."""
+
+    status: str
+    value: object = None            # pmf ndarray / float / PAccelResult
+    tier: "str | None" = None       # which backend answered
+    reasons: tuple = ()             # rejection reasons (status "rejected")
+    tier_errors: dict = field(default_factory=dict)
+    elapsed_seconds: float = 0.0
+    deadline_exceeded: bool = False
+    approximate: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
+
+
+@dataclass
+class ServerStats:
+    """Monotonic counters over the server's lifetime."""
+
+    n_queries: int = 0
+    n_ok: int = 0
+    n_rejected: int = 0
+    n_shed: int = 0
+    n_failed: int = 0
+    n_deadline_exceeded: int = 0
+    n_rows_rejected: int = 0
+    tier_counts: dict = field(default_factory=dict)
+
+    def _count(self, result: QueryResult) -> None:
+        self.n_queries += 1
+        if result.status == STATUS_OK:
+            self.n_ok += 1
+            if result.tier is not None:
+                self.tier_counts[result.tier] = (
+                    self.tier_counts.get(result.tier, 0) + 1
+                )
+        elif result.status == STATUS_REJECTED:
+            self.n_rejected += 1
+        elif result.status == STATUS_SHED:
+            self.n_shed += 1
+        else:
+            self.n_failed += 1
+        if result.deadline_exceeded:
+            self.n_deadline_exceeded += 1
+
+
+class ModelServer:
+    """Resilient serving facade over a model or a model registry."""
+
+    def __init__(
+        self,
+        source,
+        *,
+        deadline_seconds: "float | None" = None,
+        n_fallback_samples: int = 1500,
+        breaker_threshold: int = 3,
+        breaker_cooldown: int = 25,
+        admission: "AdmissionController | None" = None,
+        rng=None,
+    ):
+        if deadline_seconds is not None and deadline_seconds <= 0:
+            raise ServingError("deadline_seconds must be > 0 when set")
+        self.deadline_seconds = deadline_seconds
+        self.n_fallback_samples = int(n_fallback_samples)
+        self.rng = ensure_rng(rng)
+        self.admission = admission
+        self.breakers = {
+            tier: CircuitBreaker(breaker_threshold, breaker_cooldown)
+            for tier in (*CHAIN[:-1], TIER_ANALYTIC)
+        }
+        self.stats = ServerStats()
+        self._registry: "ModelRegistry | None" = None
+        self._model = None
+        self._version: "int | None" = None
+        self._chain: "FallbackChain | None" = None
+        self._assessor = None
+        if isinstance(source, ModelRegistry):
+            self._registry = source
+            self.refresh()
+        else:
+            self._set_model(source, version=None)
+
+    # ------------------------------------------------------------------ #
+    # Model lifecycle
+    # ------------------------------------------------------------------ #
+
+    @property
+    def model(self):
+        return self._model
+
+    @property
+    def version(self) -> "int | None":
+        """Registry version currently served (None for a bare model)."""
+        return self._version
+
+    @property
+    def registry(self) -> "ModelRegistry | None":
+        return self._registry
+
+    def refresh(self) -> "int | None":
+        """Follow the registry's active version (no-op for bare models,
+        or when the active version is already the one being served)."""
+        if self._registry is None:
+            return None
+        active = self._registry.active_version
+        if active is None:
+            raise ServingError("registry has no active version to serve")
+        if active != self._version:
+            self._set_model(self._registry.load(active), version=active)
+        return self._version
+
+    def _set_model(self, model, version: "int | None") -> None:
+        if model is None:
+            raise ServingError("ModelServer needs a model to serve")
+        self._model = model
+        self._version = version
+        self._assessor = None
+        if isinstance(model.network, DiscreteBayesianNetwork):
+            self._chain = FallbackChain(
+                model.network,
+                rng=self.rng,
+                n_samples=self.n_fallback_samples,
+                breakers=self.breakers,
+            )
+        else:
+            self._chain = None
+
+    @property
+    def chain(self) -> "FallbackChain | None":
+        """The discrete fallback chain (None for continuous models)."""
+        return self._chain
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+
+    def _deadline(self) -> "float | None":
+        if self.deadline_seconds is None:
+            return None
+        return time.monotonic() + self.deadline_seconds
+
+    def _known(self) -> frozenset:
+        return frozenset(map(str, self._model.network.nodes))
+
+    def _cards(self) -> dict:
+        return self._model.network.cardinalities
+
+    def _finish(self, result: QueryResult, started: float) -> QueryResult:
+        result.elapsed_seconds = time.monotonic() - started
+        self.stats._count(result)
+        if self.admission is not None and result.status != STATUS_SHED:
+            self.admission.record(
+                result.deadline_exceeded or result.status == STATUS_FAILED
+            )
+        return result
+
+    def _admit(self, started: float) -> "QueryResult | None":
+        if self.admission is not None and not self.admission.admit():
+            return self._finish(
+                QueryResult(
+                    status=STATUS_SHED,
+                    reasons=("admission control: server overloaded",),
+                ),
+                started,
+            )
+        return None
+
+    def _to_states(self, row: Mapping, binned: bool) -> dict:
+        """Clean raw-mean or binned row → bin-state evidence."""
+        if binned:
+            return {str(k): int(v) for k, v in row.items()}
+        disc = self._model.discretizer
+        return {
+            str(k): disc.state_of(str(k), float(v)) for k, v in row.items()
+        }
+
+    def _reject(self, reasons, started) -> QueryResult:
+        return self._finish(
+            QueryResult(status=STATUS_REJECTED, reasons=tuple(reasons)), started
+        )
+
+    def _discrete_only(self, what: str, binned: bool) -> "tuple[str, ...]":
+        if self._chain is None:
+            return (
+                f"{what} requires a discrete model; the active model is "
+                f"{self._model.report.model_kind!r}",
+            )
+        if not binned and not binnable(self._model):
+            return (
+                f"{what} requires the model's discretizer for raw evidence",
+            )
+        return ()
+
+    # ------------------------------------------------------------------ #
+    # Query surface
+    # ------------------------------------------------------------------ #
+
+    def query(
+        self,
+        variables: Sequence[str],
+        evidence: "Mapping | None" = None,
+        binned: bool = False,
+    ) -> QueryResult:
+        """Guarded posterior pmf ``P(variables | evidence)`` (discrete).
+
+        ``evidence`` values are raw measurement means by default
+        (discretized through the model's discretizer) or bin states with
+        ``binned=True``.  Malformed evidence → ``status="rejected"`` with
+        reasons; engine faults walk the fallback chain.
+        """
+        started = time.monotonic()
+        shed = self._admit(started)
+        if shed is not None:
+            return shed
+        unsupported = self._discrete_only("query", binned)
+        if unsupported:
+            return self._reject(unsupported, started)
+        reasons = check_row(
+            dict(evidence or {}),
+            known=self._known(),
+            cards=self._cards(),
+            forbid=set(map(str, variables)),
+            binned=binned,
+            require_nonempty=False,
+        )
+        bad_vars = [
+            str(v) for v in variables if str(v) not in self._known()
+        ]
+        if bad_vars:
+            reasons = reasons + tuple(
+                f"unknown query variable {v!r}" for v in bad_vars
+            )
+        if not variables:
+            reasons = reasons + ("need at least one query variable",)
+        if reasons:
+            return self._reject(reasons, started)
+        deadline = self._deadline()
+        states = self._to_states(dict(evidence or {}), binned)
+        answer = self._chain.answer(variables, states, deadline=deadline)
+        return self._finish(
+            QueryResult(
+                status=STATUS_OK,
+                value=answer.values,
+                tier=answer.tier,
+                tier_errors=answer.tier_errors,
+                deadline_exceeded=any(
+                    "deadline" in e for e in answer.tier_errors.values()
+                ),
+                approximate=answer.approximate,
+            ),
+            started,
+        )
+
+    def query_batch(
+        self,
+        variables: Sequence[str],
+        rows: "Sequence[Mapping]",
+        binned: bool = False,
+    ) -> "list[QueryResult]":
+        """Guarded batch query: one :class:`QueryResult` per input row.
+
+        Bad rows are rejected individually (with reasons) while clean
+        rows are answered; clean rows sharing an evidence signature go
+        through the engine's vectorized batch kernel when it is healthy,
+        and degrade row-by-row through the chain when it is not.
+        """
+        started = time.monotonic()
+        shed = self._admit(started)
+        if shed is not None:
+            return [shed] * len(rows)
+        unsupported = self._discrete_only("query_batch", binned)
+        if unsupported:
+            return [self._reject(unsupported, started) for _ in rows]
+        sanitized = sanitize_rows(
+            rows,
+            known=self._known(),
+            cards=self._cards(),
+            forbid=set(map(str, variables)),
+            binned=binned,
+        )
+        self.stats.n_rows_rejected += sanitized.n_rejected
+        results: "list[QueryResult | None]" = [None] * len(rows)
+        for rejection in sanitized.rejections:
+            results[rejection.index] = QueryResult(
+                status=STATUS_REJECTED, reasons=rejection.reasons
+            )
+        deadline = self._deadline()
+        # Group accepted rows by evidence signature — that *is* the
+        # compiled batch signature.
+        groups: dict[tuple, list[int]] = {}
+        for j, row in enumerate(sanitized.rows):
+            groups.setdefault(tuple(sorted(row)), []).append(j)
+        for signature, members in groups.items():
+            state_rows = [
+                self._to_states(sanitized.rows[j], binned) for j in members
+            ]
+            answers = self._batch_group(variables, state_rows, deadline)
+            for j, answer in zip(members, answers):
+                results[sanitized.kept_indices[j]] = answer
+        out = []
+        for r in results:
+            assert r is not None
+            self.stats._count(r)
+            out.append(r)
+        if self.admission is not None:
+            overloaded = any(
+                r.deadline_exceeded or r.status == STATUS_FAILED for r in out
+            )
+            self.admission.record(overloaded)
+        return out
+
+    def _batch_group(
+        self, variables, state_rows, deadline
+    ) -> "list[QueryResult]":
+        """Answer one same-signature group, vectorized when possible."""
+        breaker = self.breakers[TIER_COMPILED]
+        engine = self._chain.engine
+        if (
+            (deadline is None or time.monotonic() <= deadline)
+            and state_rows[0]  # engine batch kernel needs evidence
+            and breaker.allow()
+        ):
+            try:
+                pmfs = engine.query_batch(variables, state_rows)
+            except Exception:
+                breaker.record_failure()
+            else:
+                breaker.record_success()
+                return [
+                    QueryResult(
+                        status=STATUS_OK, value=pmf, tier=TIER_COMPILED
+                    )
+                    for pmf in pmfs
+                ]
+        # Degraded: row-by-row through the chain (zero-probability rows
+        # and engine faults then resolve per row instead of poisoning
+        # the whole batch).
+        out = []
+        for states in state_rows:
+            try:
+                answer = self._chain.answer(
+                    variables, states, deadline=deadline
+                )
+            except Exception as exc:  # pragma: no cover - chain is terminal
+                out.append(
+                    QueryResult(
+                        status=STATUS_FAILED,
+                        tier_errors={"chain": f"{type(exc).__name__}: {exc}"},
+                    )
+                )
+                continue
+            out.append(
+                QueryResult(
+                    status=STATUS_OK,
+                    value=answer.values,
+                    tier=answer.tier,
+                    tier_errors=answer.tier_errors,
+                    deadline_exceeded=any(
+                        "deadline" in e for e in answer.tier_errors.values()
+                    ),
+                    approximate=answer.approximate,
+                )
+            )
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Assessment surface (all model families)
+    # ------------------------------------------------------------------ #
+
+    def violation_prob(
+        self,
+        threshold: float,
+        predicted_means: "Mapping | None" = None,
+    ) -> QueryResult:
+        """Guarded ``P(D > threshold)``, optionally under predicted
+        service means (the pAccel projection).
+
+        Discrete models answer through the fallback chain (response-node
+        pmf tail); continuous models through the analytic assessor,
+        breaker-guarded.
+        """
+        started = time.monotonic()
+        shed = self._admit(started)
+        if shed is not None:
+            return shed
+        if not np.isfinite(threshold):
+            return self._reject(
+                (f"threshold {threshold!r} is not finite",), started
+            )
+        response = self._model.response
+        means = dict(predicted_means or {})
+        reasons = check_row(
+            means,
+            known=self._known(),
+            forbid={response},
+            binned=False,
+            require_nonempty=False,
+        )
+        if reasons:
+            return self._reject(reasons, started)
+        if self._chain is not None:
+            disc = self._model.discretizer
+            if disc is None:
+                return self._reject(
+                    ("discrete model has no discretizer",), started
+                )
+            states = self._to_states(means, binned=False)
+            answer = self._chain.answer(
+                [response], states, deadline=self._deadline()
+            )
+            prob = tail_probability_from_pmf(
+                answer.values, disc.edges(response), float(threshold)
+            )
+            return self._finish(
+                QueryResult(
+                    status=STATUS_OK,
+                    value=prob,
+                    tier=answer.tier,
+                    tier_errors=answer.tier_errors,
+                    deadline_exceeded=any(
+                        "deadline" in e for e in answer.tier_errors.values()
+                    ),
+                    approximate=answer.approximate,
+                ),
+                started,
+            )
+        return self._analytic(
+            lambda: self._violation_analytic(float(threshold), means), started
+        )
+
+    def project(self, predicted_means: Mapping) -> QueryResult:
+        """Guarded pAccel projection (``value`` is a ``PAccelResult``)."""
+        started = time.monotonic()
+        shed = self._admit(started)
+        if shed is not None:
+            return shed
+        means = dict(predicted_means or {})
+        reasons = check_row(
+            means,
+            known=self._known(),
+            forbid={self._model.response},
+            binned=False,
+        )
+        if reasons:
+            return self._reject(reasons, started)
+        from repro.apps.paccel import PAccel
+
+        if self._chain is not None:
+            # Route the discrete projection's posterior through the chain
+            # so engine faults degrade instead of raising.
+            disc = self._model.discretizer
+            response = self._model.response
+            states = self._to_states(means, binned=False)
+            answer = self._chain.answer(
+                [response], states, deadline=self._deadline()
+            )
+            from repro.apps.paccel import PAccelResult
+
+            centers = disc.centers(response)
+            mean = float(np.dot(answer.values, centers))
+            std = float(
+                np.sqrt(max(np.dot(answer.values, (centers - mean) ** 2), 0.0))
+            )
+            result = PAccelResult(
+                evidence=means,
+                edges=disc.edges(response),
+                pmf=answer.values,
+                mean=mean,
+                std=std,
+            )
+            return self._finish(
+                QueryResult(
+                    status=STATUS_OK,
+                    value=result,
+                    tier=answer.tier,
+                    tier_errors=answer.tier_errors,
+                    approximate=answer.approximate,
+                ),
+                started,
+            )
+        return self._analytic(
+            lambda: PAccel(self._model).project(means, rng=self.rng), started
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def _violation_analytic(self, threshold: float, means: dict) -> float:
+        if isinstance(self._model.network, HybridResponseNetwork):
+            if self._assessor is None:
+                from repro.apps.assessment import RapidAssessor
+
+                self._assessor = RapidAssessor(self._model)
+            return float(
+                self._assessor.violation_probability(threshold, means or None)
+            )
+        from repro.apps.paccel import PAccel
+
+        pa = PAccel(self._model)
+        result = pa.project(means, rng=self.rng) if means else pa.baseline(
+            rng=self.rng
+        )
+        return float(result.violation_probability(threshold))
+
+    def _analytic(self, compute, started: float) -> QueryResult:
+        """Breaker-guarded single-backend (continuous) evaluation."""
+        breaker = self.breakers[TIER_ANALYTIC]
+        if not breaker.allow():
+            return self._finish(
+                QueryResult(
+                    status=STATUS_FAILED,
+                    tier_errors={TIER_ANALYTIC: "circuit open"},
+                ),
+                started,
+            )
+        try:
+            value = compute()
+        except Exception as exc:
+            breaker.record_failure()
+            return self._finish(
+                QueryResult(
+                    status=STATUS_FAILED,
+                    tier_errors={
+                        TIER_ANALYTIC: f"{type(exc).__name__}: {exc}"
+                    },
+                ),
+                started,
+            )
+        breaker.record_success()
+        return self._finish(
+            QueryResult(status=STATUS_OK, value=value, tier=TIER_ANALYTIC),
+            started,
+        )
+
+
+def binnable(model) -> bool:
+    """Can raw-mean evidence be discretized for this model?"""
+    return model.discretizer is not None

@@ -161,3 +161,101 @@ def test_degraded_cycle_without_reference_reports_nan():
     assert np.isnan(report.violation_prob)
     assert np.isnan(report.expected_response)
     assert len(mgr.history) == 1
+
+
+# --------------------------------------------------------------------- #
+# Serving-layer integration: registry publishing + quality quarantine
+# --------------------------------------------------------------------- #
+
+
+def test_manager_publishes_healthy_cycles_to_registry(tmp_path):
+    from repro.serving.registry import ModelRegistry
+
+    env = ediamond_scenario()
+    policy = SLAPolicy(threshold=6.0, max_violation_prob=0.3)
+    reg = ModelRegistry(str(tmp_path / "reg"))
+    mgr = AutonomicManager(env, policy, window_points=150, rng=11, registry=reg)
+    r1 = mgr.run_cycle()
+    r2 = mgr.run_cycle()
+    assert (r1.published_version, r2.published_version) == (1, 2)
+    assert not r1.rolled_back and not r2.rolled_back
+    assert reg.active_version == 2
+    # the published bundle is a live, loadable model
+    assert reg.load().report.model_kind == "kert-bn/continuous"
+    # and the manager can hand out a guarded server over it
+    srv = mgr.model_server(rng=0)
+    assert srv.version == 2
+    result = srv.violation_prob(policy.threshold)
+    assert result.ok and 0.0 <= result.value <= 1.0
+
+
+def test_manager_quarantines_poisoned_window(tmp_path):
+    from repro.bn.data import Dataset
+    from repro.serving.quality import DataQualityGate
+
+    env = ediamond_scenario()
+    policy = SLAPolicy(threshold=6.0, max_violation_prob=0.3)
+    gate = DataQualityGate(
+        columns=(*env.service_names, env.response),
+        min_rows=10,
+        drift_threshold=6.0,
+    )
+    mgr = AutonomicManager(
+        env, policy, window_points=150, rng=12, quality_gate=gate
+    )
+    healthy = mgr.run_cycle()
+    assert not healthy.degraded and healthy.window_verdict.accepted
+
+    real_simulate = env.simulate
+
+    def poisoned(n, rng=None):
+        data = real_simulate(n, rng=rng)
+        return Dataset({c: np.asarray(data[c]) * 50.0 for c in data.columns})
+
+    env.simulate = poisoned
+    report = mgr.run_cycle()
+    assert report.degraded and report.quarantined
+    assert "quarantined" in report.incident
+    assert not report.window_verdict.accepted
+    assert gate.quarantined and gate.quarantined[0][0] == 1
+    assert not report.acted
+
+    del env.simulate
+    recovered = mgr.run_cycle()
+    assert not recovered.degraded and not recovered.quarantined
+
+
+def test_manager_tripwire_rolls_back_regressed_publish(tmp_path, monkeypatch):
+    """A cycle that builds a much-worse model publishes it, trips the
+    accuracy tripwire, and the registry auto-rolls back."""
+    from repro.core import manager as manager_mod
+    from repro.serving.registry import ModelRegistry
+
+    env = ediamond_scenario()
+    policy = SLAPolicy(threshold=6.0, max_violation_prob=0.3)
+    reg = ModelRegistry(str(tmp_path / "reg"))
+    mgr = AutonomicManager(
+        env, policy, window_points=150, rng=13,
+        registry=reg, tripwire_max_regression=0.25,
+    )
+    first = mgr.run_cycle()
+    assert first.published_version == 1
+
+    real_build = manager_mod.build_continuous_kertbn
+
+    def garbage_build(workflow, data):
+        from repro.bn.data import Dataset
+
+        r = np.random.default_rng(0)
+        noise = Dataset(
+            {c: r.uniform(0.1, 10.0, size=data.n_rows) for c in data.columns}
+        )
+        return real_build(workflow, noise)
+
+    monkeypatch.setattr(manager_mod, "build_continuous_kertbn", garbage_build)
+    second = mgr.run_cycle()
+    assert second.published_version == 2
+    assert second.rolled_back
+    assert "rolled back" in second.incident
+    assert reg.active_version == 1
+    assert not reg.info(2).healthy

@@ -1,0 +1,88 @@
+"""Evidence guards: per-row rejection with reasons, never a crash."""
+
+import numpy as np
+
+from repro.serving.guards import check_row, sanitize_rows
+
+KNOWN = frozenset({"a", "b", "D"})
+CARDS = {"a": 4, "b": 4, "D": 4}
+
+
+def test_clean_raw_row_passes():
+    assert check_row({"a": 1.5, "b": 0.2}, known=KNOWN) == ()
+
+
+def test_unknown_variable_rejected_by_name():
+    reasons = check_row({"zz": 1.0}, known=KNOWN)
+    assert len(reasons) == 1 and "'zz'" in reasons[0]
+
+
+def test_forbidden_variable_rejected():
+    reasons = check_row({"D": 1.0}, known=KNOWN, forbid={"D"})
+    assert any("'D'" in r and "may not appear" in r for r in reasons)
+
+
+def test_nan_and_inf_means_rejected():
+    reasons = check_row({"a": float("nan"), "b": float("inf")}, known=KNOWN)
+    assert any("NaN" in r for r in reasons)
+    assert any("non-finite" in r for r in reasons)
+
+
+def test_non_number_rejected():
+    reasons = check_row({"a": "fast"}, known=KNOWN)
+    assert any("not a number" in r for r in reasons)
+
+
+def test_empty_row_rejected_by_default_but_optional():
+    assert check_row({}, known=KNOWN) == ("empty evidence row",)
+    assert check_row({}, known=KNOWN, require_nonempty=False) == ()
+
+
+def test_non_mapping_row_rejected():
+    reasons = check_row([("a", 1.0)], known=KNOWN)
+    assert len(reasons) == 1 and "mapping" in reasons[0]
+
+
+def test_binned_rows_validated_against_cardinalities():
+    assert check_row({"a": 2}, known=KNOWN, cards=CARDS, binned=True) == ()
+    # numpy integers count as integral
+    assert check_row({"a": np.int64(3)}, known=KNOWN, cards=CARDS, binned=True) == ()
+    out = check_row({"a": 4}, known=KNOWN, cards=CARDS, binned=True)
+    assert any("out of range" in r for r in out)
+    out = check_row({"a": -1}, known=KNOWN, cards=CARDS, binned=True)
+    assert any("out of range" in r for r in out)
+    out = check_row({"a": 1.5}, known=KNOWN, cards=CARDS, binned=True)
+    assert any("not integral" in r for r in out)
+    out = check_row({"a": "x"}, known=KNOWN, cards=CARDS, binned=True)
+    assert any("not an integer" in r for r in out)
+
+
+def test_multiple_reasons_all_reported():
+    reasons = check_row(
+        {"zz": 1.0, "a": float("nan"), "D": 2.0}, known=KNOWN, forbid={"D"}
+    )
+    assert len(reasons) == 3
+
+
+def test_sanitize_rows_splits_and_aligns():
+    rows = [
+        {"a": 1.0},
+        {"a": float("nan")},
+        {"zz": 2.0},
+        {"b": np.float64(3.0)},
+        {},
+    ]
+    batch = sanitize_rows(rows, known=KNOWN)
+    assert batch.kept_indices == [0, 3]
+    assert batch.n_accepted == 2 and batch.n_rejected == 3
+    assert [r.index for r in batch.rejections] == [1, 2, 4]
+    for rej in batch.rejections:
+        assert rej.reasons  # every rejection carries at least one reason
+    # accepted values coerced to plain floats
+    assert isinstance(batch.rows[1]["b"], float)
+
+
+def test_sanitize_rows_binned_coerces_ints():
+    batch = sanitize_rows([{"a": np.int64(1)}], known=KNOWN, cards=CARDS, binned=True)
+    assert batch.rows == [{"a": 1}]
+    assert isinstance(batch.rows[0]["a"], int)

@@ -1,0 +1,148 @@
+"""Versioned model registry: publish/activate/rollback/retention."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataError, ServingError
+from repro.serving.registry import ModelRegistry
+
+
+def test_keep_validation(tmp_path):
+    with pytest.raises(ServingError):
+        ModelRegistry(str(tmp_path), keep=1)
+
+
+def test_publish_assigns_monotonic_versions(tmp_path, ediamond_discrete_model):
+    reg = ModelRegistry(str(tmp_path / "reg"))
+    v1 = reg.publish(ediamond_discrete_model)
+    v2 = reg.publish(ediamond_discrete_model)
+    assert (v1, v2) == (1, 2)
+    assert reg.active_version == 2
+    assert [i.version for i in reg.versions()] == [1, 2]
+    assert all(i.healthy for i in reg.versions())
+
+
+def test_publish_without_activate_keeps_pointer(tmp_path, ediamond_discrete_model):
+    reg = ModelRegistry(str(tmp_path / "reg"))
+    reg.publish(ediamond_discrete_model)
+    v2 = reg.publish(ediamond_discrete_model, activate=False)
+    assert reg.active_version == 1
+    reg.activate(v2)
+    assert reg.active_version == 2
+
+
+def test_load_roundtrips_the_active_model(
+    tmp_path, ediamond_discrete_model, ediamond_data
+):
+    _, test = ediamond_data
+    reg = ModelRegistry(str(tmp_path / "reg"))
+    reg.publish(ediamond_discrete_model)
+    loaded = reg.load()
+    assert loaded.log10_likelihood(test) == pytest.approx(
+        ediamond_discrete_model.log10_likelihood(test)
+    )
+
+
+def test_registry_state_survives_reopen(tmp_path, ediamond_discrete_model):
+    root = str(tmp_path / "reg")
+    reg = ModelRegistry(root)
+    reg.publish(ediamond_discrete_model)
+    reg.publish(ediamond_discrete_model)
+    reg.rollback(reason="bad build")
+    reopened = ModelRegistry(root)
+    assert reopened.active_version == 1
+    assert not reopened.info(2).healthy
+    assert reopened.info(2).reason == "bad build"
+    # monotonic ids continue after reopen — never reused
+    assert reopened.publish(ediamond_discrete_model) == 3
+
+
+def test_rollback_requires_a_healthy_predecessor(tmp_path, ediamond_discrete_model):
+    reg = ModelRegistry(str(tmp_path / "reg"))
+    with pytest.raises(ServingError):
+        reg.rollback()
+    reg.publish(ediamond_discrete_model)
+    with pytest.raises(ServingError):
+        reg.rollback()  # v1 has no predecessor
+
+
+def test_rollback_marks_unhealthy_and_refuses_reactivation(
+    tmp_path, ediamond_discrete_model
+):
+    reg = ModelRegistry(str(tmp_path / "reg"))
+    reg.publish(ediamond_discrete_model)
+    reg.publish(ediamond_discrete_model)
+    assert reg.rollback(reason="regressed") == 1
+    assert reg.active_version == 1
+    assert not reg.info(2).healthy
+    with pytest.raises(ServingError):
+        reg.activate(2)
+
+
+def test_retention_prunes_but_protects_active_and_rollback_target(
+    tmp_path, ediamond_discrete_model
+):
+    reg = ModelRegistry(str(tmp_path / "reg"), keep=2)
+    for _ in range(5):
+        reg.publish(ediamond_discrete_model)
+    kept = [i.version for i in reg.versions()]
+    assert len(kept) == 2 and reg.active_version == 5
+    assert reg.previous_healthy() == 4
+    # pruned bundles are gone from disk; kept ones remain loadable
+    files = {f for f in os.listdir(reg.root) if f.endswith(".json")}
+    assert files == {"MANIFEST.json", "v000004.json", "v000005.json"}
+    assert reg.load(4) is not None
+    # and rollback still works after heavy pruning
+    assert reg.rollback() == 4
+
+
+def test_corrupt_manifest_raises_dataerror(tmp_path, ediamond_discrete_model):
+    root = str(tmp_path / "reg")
+    reg = ModelRegistry(root)
+    reg.publish(ediamond_discrete_model)
+    with open(os.path.join(root, "MANIFEST.json"), "w") as fh:
+        fh.write('{"schema_version": 1, "next_ver')
+    with pytest.raises(DataError, match="corrupt"):
+        ModelRegistry(root)
+
+
+def test_truncated_manifest_names_missing_key(tmp_path, ediamond_discrete_model):
+    root = str(tmp_path / "reg")
+    reg = ModelRegistry(root)
+    reg.publish(ediamond_discrete_model)
+    path = os.path.join(root, "MANIFEST.json")
+    with open(path) as fh:
+        spec = json.load(fh)
+    del spec["versions"]
+    with open(path, "w") as fh:
+        json.dump(spec, fh)
+    with pytest.raises(DataError, match="'versions'"):
+        ModelRegistry(root)
+
+
+def test_missing_bundle_on_disk_is_a_dataerror(tmp_path, ediamond_discrete_model):
+    root = str(tmp_path / "reg")
+    reg = ModelRegistry(root)
+    v = reg.publish(ediamond_discrete_model)
+    os.remove(os.path.join(root, reg.info(v).file))
+    with pytest.raises(DataError, match="missing on disk"):
+        reg.load(v)
+
+
+def test_unknown_version_is_a_servingerror(tmp_path, ediamond_discrete_model):
+    reg = ModelRegistry(str(tmp_path / "reg"))
+    reg.publish(ediamond_discrete_model)
+    with pytest.raises(ServingError):
+        reg.info(99)
+    with pytest.raises(ServingError):
+        reg.activate(99)
+
+
+def test_metadata_is_persisted(tmp_path, ediamond_discrete_model):
+    root = str(tmp_path / "reg")
+    reg = ModelRegistry(root)
+    v = reg.publish(ediamond_discrete_model, metadata={"cycle": 7})
+    assert ModelRegistry(root).info(v).metadata == {"cycle": 7}

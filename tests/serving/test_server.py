@@ -1,0 +1,240 @@
+"""ModelServer: guarded queries, deadlines, shedding, registry refresh."""
+
+import numpy as np
+import pytest
+
+from repro.serving.breaker import AdmissionController
+from repro.serving.fallback import TIER_COMPILED, TIER_PRIOR, TIER_SWEEP
+from repro.serving.registry import ModelRegistry
+from repro.serving.server import (
+    STATUS_OK,
+    STATUS_REJECTED,
+    STATUS_SHED,
+    TIER_ANALYTIC,
+    ModelServer,
+)
+
+
+def _svc(model, k=0):
+    return [n for n in model.network.nodes if n != model.response][k]
+
+
+def _mean(data, name):
+    return float(np.mean(data[name]))
+
+
+# --------------------------------------------------------------------- #
+# Single queries
+# --------------------------------------------------------------------- #
+
+
+def test_query_matches_engine_when_healthy(
+    fresh_discrete_model, ediamond_data
+):
+    train, _ = ediamond_data
+    model = fresh_discrete_model
+    srv = ModelServer(model, rng=0)
+    svc = _svc(model)
+    r = srv.query([model.response], {svc: _mean(train, svc)})
+    assert r.ok and r.tier == TIER_COMPILED
+    disc = model.discretizer
+    expected = model.network.compiled().query(
+        [model.response], {svc: disc.state_of(svc, _mean(train, svc))}
+    ).values
+    np.testing.assert_allclose(r.value, expected)
+    assert srv.stats.n_ok == 1
+    assert srv.stats.tier_counts[TIER_COMPILED] == 1
+
+
+def test_bad_evidence_rejected_with_reasons_not_crash(fresh_discrete_model):
+    model = fresh_discrete_model
+    srv = ModelServer(model, rng=0)
+    r = srv.query([model.response], {"martian": 1.0})
+    assert r.status == STATUS_REJECTED and "'martian'" in r.reasons[0]
+    r = srv.query([model.response], {_svc(model): float("nan")})
+    assert r.status == STATUS_REJECTED and any("NaN" in x for x in r.reasons)
+    # querying a variable that is also evidence is refused, not undefined
+    r = srv.query([model.response], {model.response: 1.0})
+    assert r.status == STATUS_REJECTED
+    # unknown query variable
+    r = srv.query(["martian"], {})
+    assert r.status == STATUS_REJECTED
+    assert srv.stats.n_rejected == 4 and srv.stats.n_queries == 4
+
+
+def test_binned_evidence_validated_against_cardinalities(fresh_discrete_model):
+    model = fresh_discrete_model
+    srv = ModelServer(model, rng=0)
+    svc = _svc(model)
+    ok = srv.query([model.response], {svc: 2}, binned=True)
+    assert ok.ok
+    bad = srv.query([model.response], {svc: 99}, binned=True)
+    assert bad.status == STATUS_REJECTED
+    assert any("out of range" in r for r in bad.reasons)
+
+
+def test_engine_fault_answers_through_fallback(fresh_discrete_model, ediamond_data):
+    train, _ = ediamond_data
+    model = fresh_discrete_model
+    srv = ModelServer(model, rng=0)
+    svc = _svc(model)
+
+    def boom(*a):
+        raise RuntimeError("injected")
+
+    srv.chain.engine.failure_hook = boom
+    r = srv.query([model.response], {svc: _mean(train, svc)})
+    assert r.ok and r.tier == TIER_SWEEP
+    assert TIER_COMPILED in r.tier_errors
+
+
+def test_expired_deadline_degrades_to_prior(fresh_discrete_model, ediamond_data):
+    train, _ = ediamond_data
+    model = fresh_discrete_model
+    srv = ModelServer(model, deadline_seconds=1e-9, rng=0)
+    svc = _svc(model)
+    r = srv.query([model.response], {svc: _mean(train, svc)})
+    assert r.ok and r.tier == TIER_PRIOR and r.approximate
+    assert r.deadline_exceeded
+    assert srv.stats.n_deadline_exceeded == 1
+
+
+def test_admission_control_sheds_under_overload(fresh_discrete_model):
+    model = fresh_discrete_model
+    ac = AdmissionController(
+        window=5, overload_threshold=0.5, shed_fraction=1.0,
+        rng=np.random.default_rng(0),
+    )
+    srv = ModelServer(model, admission=ac, rng=0)
+    for _ in range(5):
+        ac.record(True)
+    r = srv.query([model.response], {})
+    assert r.status == STATUS_SHED and r.reasons
+    assert srv.stats.n_shed == 1
+
+
+# --------------------------------------------------------------------- #
+# Batches
+# --------------------------------------------------------------------- #
+
+
+def test_query_batch_aligns_results_with_input_rows(
+    fresh_discrete_model, ediamond_data
+):
+    train, _ = ediamond_data
+    model = fresh_discrete_model
+    srv = ModelServer(model, rng=0)
+    a, b = _svc(model, 0), _svc(model, 1)
+    rows = [
+        {a: _mean(train, a)},
+        {a: float("nan")},
+        {"martian": 1.0},
+        {b: _mean(train, b)},          # different signature, same batch
+        {a: _mean(train, a) * 1.1},
+    ]
+    results = srv.query_batch([model.response], rows)
+    assert [r.status for r in results] == [
+        STATUS_OK, STATUS_REJECTED, STATUS_REJECTED, STATUS_OK, STATUS_OK,
+    ]
+    # batched answers equal the single-query path
+    single = srv.query([model.response], rows[0])
+    np.testing.assert_allclose(results[0].value, single.value)
+    assert srv.stats.n_rows_rejected == 2
+
+
+def test_query_batch_survives_engine_fault_per_row(
+    fresh_discrete_model, ediamond_data
+):
+    train, _ = ediamond_data
+    model = fresh_discrete_model
+    srv = ModelServer(model, rng=0)
+    a = _svc(model)
+    exact = srv.query([model.response], {a: _mean(train, a)}).value
+
+    def boom(*args):
+        raise RuntimeError("injected")
+
+    srv.chain.engine.failure_hook = boom
+    results = srv.query_batch(
+        [model.response], [{a: _mean(train, a)}, {a: _mean(train, a) * 2}]
+    )
+    assert all(r.ok for r in results)
+    assert all(r.tier == TIER_SWEEP for r in results)
+    np.testing.assert_allclose(results[0].value, exact, atol=1e-10)
+
+
+# --------------------------------------------------------------------- #
+# Assessment surface
+# --------------------------------------------------------------------- #
+
+
+def test_violation_prob_discrete_goes_through_chain(
+    fresh_discrete_model, ediamond_data
+):
+    train, _ = ediamond_data
+    model = fresh_discrete_model
+    srv = ModelServer(model, rng=0)
+    h = float(np.percentile(train[model.response], 80))
+    r = srv.violation_prob(h)
+    assert r.ok and r.tier == TIER_COMPILED
+    assert 0.0 <= r.value <= 1.0
+    from repro.apps.paccel import PAccel
+
+    expected = PAccel(model).baseline(rng=0).violation_probability(h)
+    assert r.value == pytest.approx(expected)
+    bad = srv.violation_prob(float("nan"))
+    assert bad.status == STATUS_REJECTED
+
+
+def test_violation_prob_continuous_uses_analytic_tier(
+    ediamond_continuous_model, ediamond_data
+):
+    train, _ = ediamond_data
+    srv = ModelServer(ediamond_continuous_model, rng=0)
+    h = float(np.percentile(train["D"], 80))
+    r = srv.violation_prob(h)
+    assert r.ok and r.tier == TIER_ANALYTIC
+    assert 0.0 <= r.value <= 1.0
+    # query() on a continuous model is a clean rejection, not a crash
+    q = srv.query(["D"], {})
+    assert q.status == STATUS_REJECTED
+    assert any("discrete" in reason for reason in q.reasons)
+
+
+def test_project_discrete(fresh_discrete_model, ediamond_data):
+    train, _ = ediamond_data
+    model = fresh_discrete_model
+    srv = ModelServer(model, rng=0)
+    svc = _svc(model)
+    r = srv.project({svc: _mean(train, svc) * 0.5})
+    assert r.ok
+    assert np.isfinite(r.value.mean) and r.value.pmf.sum() == pytest.approx(1.0)
+    from repro.apps.paccel import PAccel
+
+    expected = PAccel(model).project({svc: _mean(train, svc) * 0.5})
+    assert r.value.mean == pytest.approx(expected.mean)
+
+
+# --------------------------------------------------------------------- #
+# Registry-backed serving
+# --------------------------------------------------------------------- #
+
+
+def test_refresh_follows_rollback(
+    tmp_path, fresh_discrete_model, ediamond_env, ediamond_data
+):
+    from repro.core.kertbn import build_discrete_kertbn
+
+    train, _ = ediamond_data
+    reg = ModelRegistry(str(tmp_path / "reg"))
+    reg.publish(fresh_discrete_model)
+    srv = ModelServer(reg, rng=0)
+    assert srv.version == 1
+    other = build_discrete_kertbn(ediamond_env.workflow, train, n_bins=3)
+    reg.publish(other)
+    assert srv.refresh() == 2
+    assert srv.model.network.cardinalities[srv.model.response] == 3
+    reg.rollback(reason="operator")
+    assert srv.refresh() == 1
+    r = srv.query([srv.model.response], {})
+    assert r.ok and r.value.shape == (4,)
