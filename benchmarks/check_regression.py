@@ -1,0 +1,133 @@
+"""CI gate: fail when the inference benchmark regresses.
+
+``benchmarks/test_inference_throughput.py`` persists its numbers to
+``BENCH_inference.json``.  This script compares a freshly produced
+payload against the committed baseline and exits non-zero when a
+guarded metric drops more than ``--tolerance`` (default 30%) below the
+baseline — keeping PR 1's compile-once (10.5x) and batched (22x)
+speedups from silently eroding.
+
+Guarded metrics are the machine-independent speedup *ratios*
+(``single.compile_once_speedup`` and ``batched.batched_speedup_vs_loop``
+— the batched-throughput multiplier over a per-row loop), because a CI
+runner's absolute queries/sec varies with hardware.  Pass ``--absolute``
+to additionally gate raw ``batched.batched_qps`` when baseline and
+fresh numbers come from the same machine.
+
+Usage (as CI runs it)::
+
+    cp BENCH_inference.json baseline.json      # before the benchmark
+    python -m pytest benchmarks/test_inference_throughput.py -q
+    python benchmarks/check_regression.py \
+        --baseline baseline.json \
+        --fresh benchmarks/results/BENCH_inference.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Tuple
+
+DEFAULT_TOLERANCE = 0.30
+
+#: (section, key, human label) for the always-on ratio checks.
+RATIO_METRICS: Tuple[Tuple[str, str, str], ...] = (
+    ("single", "compile_once_speedup", "compile-once speedup"),
+    ("batched", "batched_speedup_vs_loop", "batched throughput vs row loop"),
+)
+ABSOLUTE_METRICS: Tuple[Tuple[str, str, str], ...] = (
+    ("batched", "batched_qps", "batched rows/sec"),
+)
+
+
+def extract(payload: dict, section: str, key: str) -> float:
+    try:
+        value = payload[section][key]
+    except (KeyError, TypeError):
+        raise SystemExit(
+            f"benchmark payload is missing {section}.{key} — "
+            "was the benchmark run with an incompatible schema?"
+        )
+    return float(value)
+
+
+def compare(
+    baseline: dict,
+    fresh: dict,
+    tolerance: float = DEFAULT_TOLERANCE,
+    absolute: bool = False,
+) -> Tuple[List[str], List[str]]:
+    """Return ``(failures, report_lines)`` for fresh-vs-baseline.
+
+    A metric fails when ``fresh < baseline * (1 - tolerance)``.
+    Improvements never fail (the gate is one-sided: committed baselines
+    are refreshed by re-running the benchmark, not by the gate).
+    """
+    if not 0.0 < tolerance < 1.0:
+        raise SystemExit(f"tolerance must be in (0, 1), got {tolerance}")
+    checks = RATIO_METRICS + (ABSOLUTE_METRICS if absolute else ())
+    failures: List[str] = []
+    report: List[str] = []
+    for section, key, label in checks:
+        base = extract(baseline, section, key)
+        new = extract(fresh, section, key)
+        floor = base * (1.0 - tolerance)
+        ok = new >= floor
+        line = (
+            f"{'ok  ' if ok else 'FAIL'} {label} ({section}.{key}): "
+            f"baseline={base:.2f} fresh={new:.2f} floor={floor:.2f} "
+            f"({(new / base - 1.0) * 100.0:+.1f}%)"
+        )
+        report.append(line)
+        if not ok:
+            failures.append(line)
+    return failures, report
+
+
+def main(argv: "List[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="fail when BENCH_inference metrics regress vs baseline"
+    )
+    parser.add_argument(
+        "--baseline", required=True, help="committed BENCH_inference.json"
+    )
+    parser.add_argument(
+        "--fresh", required=True, help="freshly produced BENCH_inference.json"
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="allowed fractional drop before failing (default 0.30)",
+    )
+    parser.add_argument(
+        "--absolute",
+        action="store_true",
+        help="also gate raw qps (same-machine comparisons only)",
+    )
+    args = parser.parse_args(argv)
+    with open(args.baseline) as fh:
+        baseline = json.load(fh)
+    with open(args.fresh) as fh:
+        fresh = json.load(fh)
+    failures, report = compare(
+        baseline, fresh, tolerance=args.tolerance, absolute=args.absolute
+    )
+    print(f"benchmark regression gate (tolerance {args.tolerance:.0%}):")
+    for line in report:
+        print(f"  {line}")
+    if failures:
+        print(
+            f"REGRESSION: {len(failures)} metric(s) dropped more than "
+            f"{args.tolerance:.0%} below baseline",
+            file=sys.stderr,
+        )
+        return 1
+    print("gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

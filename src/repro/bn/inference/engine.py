@@ -45,6 +45,7 @@ import numpy as np
 
 from repro.bn.factors import DiscreteFactor
 from repro.exceptions import InferenceError
+from repro.obs.runtime import OBS as _OBS
 
 #: einsum subscripts offer 52 single-letter labels; one is reserved for
 #: the batch axis of :meth:`CompiledDiscreteModel.query_batch`.
@@ -145,7 +146,11 @@ class CompiledDiscreteModel:
         key = (variables, evidence_vars)
         plan = self._plans.get(key)
         if plan is not None:
+            if _OBS.enabled:
+                _OBS.metrics.counter("engine.plan.cache_hits").inc()
             return plan
+        if _OBS.enabled:
+            _OBS.metrics.counter("engine.plan.compiles").inc()
 
         ev_order = tuple(sorted(evidence_vars))
         eliminate = set(self._nodes) - set(variables) - evidence_vars
@@ -197,6 +202,7 @@ class CompiledDiscreteModel:
         :func:`repro.bn.inference.variable_elimination.query` (same scope
         order, normalized); only the cost differs.
         """
+        _t0 = _OBS.clock() if _OBS.enabled else None
         variables = tuple(str(v) for v in variables)
         evidence = {str(k): int(v) for k, v in (evidence or {}).items()}
         self._validate(variables, evidence)
@@ -225,6 +231,11 @@ class CompiledDiscreteModel:
         total = float(values.sum())
         if total <= 0:
             raise InferenceError("evidence has zero probability under the model")
+        if _t0 is not None:
+            _OBS.metrics.counter("engine.query.calls").inc()
+            _OBS.metrics.histogram("engine.query.seconds").observe(
+                _OBS.clock() - _t0
+            )
         return DiscreteFactor(variables, plan.out_shape, values / total)
 
     def query_batch(
@@ -242,6 +253,7 @@ class CompiledDiscreteModel:
         ``P(variables | evidence_rows[i])``, identical (up to float
         error) to calling :meth:`query` row by row.
         """
+        _t0 = _OBS.clock() if _OBS.enabled else None
         variables = tuple(str(v) for v in variables)
         columns = _evidence_columns(evidence_rows)
         self._validate(variables, columns)
@@ -283,6 +295,12 @@ class CompiledDiscreteModel:
         if bad.size:
             raise InferenceError(
                 f"evidence has zero probability under the model at rows {bad[:5].tolist()}"
+            )
+        if _t0 is not None:
+            _OBS.metrics.counter("engine.query_batch.calls").inc()
+            _OBS.metrics.counter("engine.query_batch.rows").inc(n)
+            _OBS.metrics.histogram("engine.query_batch.seconds").observe(
+                _OBS.clock() - _t0
             )
         return out / totals.reshape((n,) + (1,) * len(plan.out_shape))
 

@@ -33,6 +33,7 @@ import numpy as np
 
 from repro.bn.factors import DiscreteFactor
 from repro.exceptions import InferenceError
+from repro.obs.runtime import OBS as _OBS
 
 
 class JunctionTree:
@@ -89,6 +90,8 @@ class JunctionTree:
         the combined evidence has zero probability under the model.
         Returns ``self`` for chaining.
         """
+        if _OBS.enabled:
+            _OBS.metrics.counter("jtree.absorb.calls").inc()
         ev = {str(k): int(v) for k, v in evidence.items()}
         unknown = set(ev) - set(self._cards)
         if unknown:
@@ -117,6 +120,8 @@ class JunctionTree:
 
     def retract(self, variables: Iterable[str]) -> "JunctionTree":
         """Drop observations on ``variables``; calibration reruns lazily."""
+        if _OBS.enabled:
+            _OBS.metrics.counter("jtree.retract.calls").inc()
         names = [str(v) for v in variables]
         missing = [v for v in names if v not in self._evidence]
         if missing:
@@ -157,6 +162,7 @@ class JunctionTree:
 
     def _recalibrate(self) -> None:
         """Two-pass sum-product message passing over the (fixed) tree."""
+        _t0 = _OBS.clock() if _OBS.enabled else None
         n = len(self._cliques)
         potentials = self._evidence_potentials()
         messages: dict[tuple[int, int], DiscreteFactor] = {}
@@ -216,6 +222,11 @@ class JunctionTree:
         if float(beliefs[0].values.sum()) <= 0:
             raise InferenceError("evidence has zero probability under the model")
         self._beliefs = beliefs
+        if _t0 is not None:
+            _OBS.metrics.counter("jtree.recalibrations").inc()
+            _OBS.metrics.histogram("jtree.recalibrate.seconds").observe(
+                _OBS.clock() - _t0
+            )
 
     # ------------------------------------------------------------------ #
     # Queries

@@ -16,6 +16,12 @@ Subcommands
 - ``dcomp``            — posterior of an unobservable service.
 - ``registry``         — versioned model store: list/publish/activate/rollback.
 - ``serve``            — guarded one-shot query through the fallback chain.
+- ``obs``              — dump or reset this process's observability state.
+
+Every subcommand also accepts a global ``--trace-out PATH``: it enables
+:mod:`repro.obs` for the run, wraps the command in a ``cli.<command>``
+span, and writes the full observability snapshot (metrics + span tree)
+as JSON to ``PATH`` on exit.
 
 Example
 -------
@@ -199,6 +205,31 @@ def cmd_localize(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_obs(args: argparse.Namespace) -> int:
+    from repro import obs
+
+    if args.action == "reset":
+        obs.reset()
+        print("observability state reset")
+        return 0
+    if args.action == "enable":
+        obs.enable()
+        print("observability enabled for this process")
+        return 0
+    # snapshot
+    if args.json:
+        text = json.dumps(obs.snapshot(), indent=2)
+    else:
+        text = obs.render_text()
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text + "\n")
+        print(f"wrote observability snapshot to {args.out}")
+    else:
+        print(text)
+    return 0
+
+
 def cmd_registry(args: argparse.Namespace) -> int:
     from repro.core.persistence import load_model
     from repro.serving.registry import ModelRegistry
@@ -284,6 +315,13 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="KERT-BN performance-modeling toolchain (IPDPS 2007 reproduction)",
     )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="enable observability for this run and write the snapshot "
+        "(metrics + span tree) as JSON to PATH",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("inspect-workflow", help="derive f and structure")
@@ -354,6 +392,15 @@ def build_parser() -> argparse.ArgumentParser:
                    help="reason recorded on rollback")
     p.set_defaults(fn=cmd_registry)
 
+    p = sub.add_parser(
+        "obs", help="dump or reset this process's observability state"
+    )
+    p.add_argument("action", choices=("snapshot", "reset", "enable"))
+    p.add_argument("--json", action="store_true",
+                   help="emit the snapshot as JSON instead of text")
+    p.add_argument("--out", help="write the snapshot here instead of stdout")
+    p.set_defaults(fn=cmd_obs)
+
     p = sub.add_parser("serve", help="guarded query with fallback chain")
     p.add_argument("--model", help="serve one bundle file")
     p.add_argument("--registry", help="serve a registry's active version")
@@ -372,14 +419,30 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: "Sequence[str] | None" = None) -> int:
     args = build_parser().parse_args(argv)
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out:
+        from repro import obs
+
+        obs.enable()
     try:
-        return args.fn(args)
+        if trace_out:
+            with obs.span(f"cli.{args.command}"):
+                code = args.fn(args)
+        else:
+            code = args.fn(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    finally:
+        if trace_out:
+            with open(trace_out, "w") as fh:
+                json.dump(obs.snapshot(), fh, indent=2, default=str)
+                fh.write("\n")
+            print(f"wrote observability snapshot to {trace_out}", file=sys.stderr)
+    return code
 
 
 if __name__ == "__main__":

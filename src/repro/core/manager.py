@@ -29,6 +29,8 @@ from repro.apps.assessment import RapidAssessor
 from repro.apps.localization import ProblemLocalizer
 from repro.core.kertbn import KERTBN, build_continuous_kertbn
 from repro.exceptions import ReproError
+from repro.obs.runtime import OBS as _OBS
+from repro.obs.runtime import span as _span
 from repro.simulator.environment import SimulatedEnvironment
 from repro.utils.rng import ensure_rng
 
@@ -164,15 +166,45 @@ class AutonomicManager:
         A failed model rebuild never crashes the loop: the cycle is
         recorded as degraded (see :meth:`_degraded_report`) and the
         manager resumes on the next window.
+
+        When :mod:`repro.obs` is enabled the cycle emits a
+        ``manager.cycle`` span with one child per MAPE phase (monitor /
+        quality-gate / analyze / publish / plan / execute) plus cycle,
+        quarantine, rollback, and action counters.
         """
+        _t0 = _OBS.clock() if _OBS.enabled else None
+        with _span("manager.cycle") as cycle_span:
+            report = self._run_cycle()
+        if _t0 is not None:
+            cycle_span.annotate(cycle=report.cycle, degraded=report.degraded)
+            m = _OBS.metrics
+            m.counter("manager.cycles").inc()
+            m.histogram("manager.cycle.seconds").observe(_OBS.clock() - _t0)
+            if report.degraded:
+                m.counter("manager.degraded_cycles").inc()
+            if report.quarantined:
+                m.counter("manager.quarantined_windows").inc()
+            if report.rolled_back:
+                m.counter("manager.rollbacks").inc()
+            if report.acted:
+                m.counter("manager.actions").inc()
+            if np.isfinite(report.violation_prob):
+                m.gauge("manager.last_violation_prob").set(
+                    report.violation_prob
+                )
+        return report
+
+    def _run_cycle(self) -> CycleReport:
         cycle = len(self.history)
         # Monitor: fresh window from the live environment.
-        data = self.env.simulate(self.window_points, rng=self.rng)
+        with _span("manager.monitor"):
+            data = self.env.simulate(self.window_points, rng=self.rng)
         # Quality gate: a poisoned window is quarantined before it can
         # corrupt the rebuild — the cycle degrades instead of learning.
         verdict = None
         if self.quality_gate is not None:
-            verdict = self.quality_gate.inspect(data)
+            with _span("manager.quality_gate"):
+                verdict = self.quality_gate.inspect(data)
             if not verdict.accepted:
                 report = self._degraded_report(
                     cycle,
@@ -186,10 +218,13 @@ class AutonomicManager:
         if incident is not None:
             return self._degraded_report(cycle, incident)
         try:
-            model = build_continuous_kertbn(self.env.workflow, data)
-            assessor = RapidAssessor(model)
-            expected, _ = assessor.assess()
-            p_violation = assessor.violation_probability(self.policy.threshold)
+            with _span("manager.analyze"):
+                model = build_continuous_kertbn(self.env.workflow, data)
+                assessor = RapidAssessor(model)
+                expected, _ = assessor.assess()
+                p_violation = assessor.violation_probability(
+                    self.policy.threshold
+                )
         except (ReproError, FloatingPointError, ValueError) as exc:
             return self._degraded_report(cycle, f"model rebuild failed: {exc}")
         report = CycleReport(
@@ -200,9 +235,10 @@ class AutonomicManager:
             window_verdict=verdict,
         )
         if self._tripwire is not None:
-            outcome = self._tripwire.publish_checked(
-                model, data, metadata={"cycle": cycle}
-            )
+            with _span("manager.publish"):
+                outcome = self._tripwire.publish_checked(
+                    model, data, metadata={"cycle": cycle}
+                )
             report.published_version = outcome.version
             report.rolled_back = outcome.rolled_back
             if outcome.rolled_back:
@@ -211,42 +247,13 @@ class AutonomicManager:
                     f"{outcome.detail}"
                 )
         if p_violation > self.policy.max_violation_prob:
-            # Plan: blame ranking against the last healthy model, then the
-            # *mildest* sufficient speedup.
-            if self._reference_model is not None:
-                if self._reference_localizer is None:
-                    self._reference_localizer = ProblemLocalizer(self._reference_model)
-                localizer = self._reference_localizer
-            else:
-                # No healthy reference yet: localize against the fresh
-                # model, sharing this cycle's already-built assessor.
-                localizer = ProblemLocalizer(model, assessor=assessor)
-            observed = {
-                s: float(np.mean(data[s])) for s in self.env.service_names
-            }
-            suspects = localizer.localize(observed)
-            report.suspects = [s.row() for s in suspects[:3]]
-            target = suspects[0].service
-            chosen = None
-            for speedup in sorted(self.policy.candidate_speedups, reverse=True):
-                current_mean = float(np.mean(data[target]))
-                projected = assessor.violation_probability(
-                    self.policy.threshold, {target: speedup * current_mean}
+            with _span("manager.plan"):
+                target, chosen = self._plan_action(
+                    model, assessor, data, report
                 )
-                if projected <= self.policy.max_violation_prob:
-                    chosen = (speedup, projected)
-                    break
-            if chosen is None:
-                # Even the strongest candidate is insufficient; take it
-                # anyway (best effort) and record the residual risk.
-                speedup = min(self.policy.candidate_speedups)
-                projected = assessor.violation_probability(
-                    self.policy.threshold,
-                    {target: speedup * float(np.mean(data[target]))},
-                )
-                chosen = (speedup, projected)
             # Execute: apply the resource action to the environment.
-            self._apply_speedup(target, chosen[0])
+            with _span("manager.execute"):
+                self._apply_speedup(target, chosen[0])
             report.action = (target, chosen[0])
             report.projected_violation_prob = chosen[1]
         else:
@@ -254,6 +261,44 @@ class AutonomicManager:
             self._reference_localizer = None
         self.history.append(report)
         return report
+
+    def _plan_action(self, model, assessor, data, report):
+        """Plan phase: blame ranking against the last healthy model, then
+        the *mildest* sufficient speedup.  Returns ``(target, (speedup,
+        projected_violation_prob))`` and records suspects on ``report``."""
+        if self._reference_model is not None:
+            if self._reference_localizer is None:
+                self._reference_localizer = ProblemLocalizer(self._reference_model)
+            localizer = self._reference_localizer
+        else:
+            # No healthy reference yet: localize against the fresh
+            # model, sharing this cycle's already-built assessor.
+            localizer = ProblemLocalizer(model, assessor=assessor)
+        observed = {
+            s: float(np.mean(data[s])) for s in self.env.service_names
+        }
+        suspects = localizer.localize(observed)
+        report.suspects = [s.row() for s in suspects[:3]]
+        target = suspects[0].service
+        chosen = None
+        for speedup in sorted(self.policy.candidate_speedups, reverse=True):
+            current_mean = float(np.mean(data[target]))
+            projected = assessor.violation_probability(
+                self.policy.threshold, {target: speedup * current_mean}
+            )
+            if projected <= self.policy.max_violation_prob:
+                chosen = (speedup, projected)
+                break
+        if chosen is None:
+            # Even the strongest candidate is insufficient; take it
+            # anyway (best effort) and record the residual risk.
+            speedup = min(self.policy.candidate_speedups)
+            projected = assessor.violation_probability(
+                self.policy.threshold,
+                {target: speedup * float(np.mean(data[target]))},
+            )
+            chosen = (speedup, projected)
+        return target, chosen
 
     def run(self, n_cycles: int) -> list[CycleReport]:
         if n_cycles < 1:

@@ -43,6 +43,7 @@ from repro.decentralized.resilience import (
     RoundState,
 )
 from repro.exceptions import LearningError, ReproError
+from repro.obs.runtime import OBS as _OBS
 
 
 @dataclass
@@ -281,7 +282,7 @@ class Coordinator:
         self.state.close_round(
             [n for n, o in outcomes.items() if o.status == FRESH]
         )
-        return DecentralizedResult(
+        result = DecentralizedResult(
             cpds=cpds,
             per_agent_seconds=per_agent,
             network_summary=self.network.round_summary(),
@@ -290,3 +291,56 @@ class Coordinator:
             outcomes=outcomes,
             round_index=round_index,
         )
+        if _OBS.enabled:
+            self._record_obs(result)
+        return result
+
+    def _record_obs(self, result: DecentralizedResult) -> None:
+        """Publish one round's accounting to :mod:`repro.obs`.
+
+        The round span carries the paper's Sec.-3.4 decentralized time —
+        the **max** over per-agent costs (fit + delivery wait), plus the
+        server-side response CPD — while each ``agent:<node>`` child
+        carries that agent's own accounted cost.  Metrics mirror the
+        :class:`DecentralizedResult` partition (fresh / stale / failed)
+        plus retry counts so learning-health dashboards need no access
+        to the result objects themselves.
+        """
+        m = _OBS.metrics
+        m.counter("decentralized.rounds").inc()
+        m.counter("decentralized.agents.fresh").inc(len(result.fresh))
+        m.counter("decentralized.agents.stale").inc(len(result.stale))
+        m.counter("decentralized.agents.failed").inc(len(result.failed))
+        m.counter("decentralized.retries").inc(
+            sum(max(0, o.attempts - 1) for o in result.outcomes.values())
+        )
+        m.gauge("decentralized.last_round.seconds").set(
+            result.decentralized_seconds
+        )
+        m.gauge("decentralized.last_round.centralized_seconds").set(
+            result.centralized_seconds
+        )
+        fit_hist = m.histogram("decentralized.agent_fit_seconds")
+        tracer = _OBS.tracer
+        with tracer.span("decentralized.round") as round_span:
+            round_span.annotate(round_index=result.round_index)
+            for name, fit_secs in result.per_agent_seconds.items():
+                outcome = result.outcomes.get(name)
+                status = outcome.status if outcome is not None else FRESH
+                if status == FRESH:
+                    fit_hist.observe(fit_secs)
+                tracer.record_span(
+                    f"agent:{name}",
+                    fit_secs + result.per_agent_wait_seconds.get(name, 0.0),
+                ).annotate(
+                    status=status,
+                    fit_seconds=fit_secs,
+                    wait_seconds=result.per_agent_wait_seconds.get(name, 0.0),
+                )
+            if self.response is not None:
+                tracer.record_span(
+                    "response-cpd", result.response_cpd_seconds
+                ).annotate(node=self.response)
+            # Accounted concurrency, not sequential wall clock: the round
+            # took as long as its slowest agent (Sec. 3.4).
+            round_span.override_duration(result.decentralized_seconds)

@@ -23,6 +23,7 @@ from repro.bn.dag import DAG
 from repro.bn.data import Dataset
 from repro.bn.learning.mle import fit_linear_gaussian
 from repro.exceptions import LearningError
+from repro.obs.runtime import OBS as _OBS
 
 
 def _fit_one(args: tuple) -> tuple:
@@ -63,8 +64,18 @@ def parallel_parameter_learning(
             columns[p] = np.asarray(data[p], dtype=float)
         tasks.append((node, parents, columns))
     if len(tasks) == 1 or (processes is not None and processes <= 1):
-        return dict(_fit_one(t) for t in tasks)
-    ctx = mp.get_context("fork") if "fork" in mp.get_all_start_methods() else mp.get_context()
-    with ctx.Pool(processes=processes) as pool:
-        results = pool.map(_fit_one, tasks)
-    return dict(results)
+        fitted = dict(_fit_one(t) for t in tasks)
+    else:
+        ctx = (
+            mp.get_context("fork")
+            if "fork" in mp.get_all_start_methods()
+            else mp.get_context()
+        )
+        with ctx.Pool(processes=processes) as pool:
+            fitted = dict(pool.map(_fit_one, tasks))
+    # Workers are separate processes, so their registries are invisible
+    # here; the coordinator side accounts completed fits as results land.
+    if _OBS.enabled:
+        _OBS.metrics.counter("decentralized.parallel.batches").inc()
+        _OBS.metrics.counter("decentralized.parallel.fits").inc(len(fitted))
+    return fitted

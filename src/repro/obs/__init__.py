@@ -1,0 +1,74 @@
+"""repro.obs — zero-dependency observability for the modeling stack.
+
+Three pieces, in the spirit of the always-on self-monitoring an
+autonomic system assumes (Kephart & Chess's MAPE loops watch
+themselves too):
+
+- :mod:`repro.obs.metrics` — process-local counters, gauges, and
+  fixed-bucket histograms with p50/p95/p99 summaries, snapshot/reset
+  semantics, and text + JSON exporters;
+- :mod:`repro.obs.tracing` — ``span("name")`` context managers
+  producing a parent-linked span tree with wall time and optional
+  ``tracemalloc`` peak-memory capture, exportable as JSON or a
+  flame-style text tree;
+- :mod:`repro.obs.runtime` — the module-level enable flag instrumented
+  call sites guard on.  **Off by default**; the disabled cost on a hot
+  path is a single attribute read.
+
+Instrumentation is wired through the inference engine
+(query / batch / plan-cache), the junction tree (absorb / retract /
+recalibrate), the decentralized coordinator (per-agent fit times and
+the Sec.-3.4 max-over-agents round span), the model server (per-tier
+answer counts, breaker transitions, deadline misses), and the
+autonomic manager (phase spans, quarantines, rollbacks).  See
+``docs/architecture.md`` ("Observability") for the metric-name catalog.
+
+Quickstart
+----------
+>>> from repro import obs
+>>> obs.enable()
+>>> with obs.span("demo"):
+...     obs.OBS.metrics.counter("demo.calls").inc()
+>>> obs.snapshot()["metrics"]["counters"]["demo.calls"]
+1
+>>> obs.reset(); obs.disable()
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_TIME_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.runtime import (
+    OBS,
+    disable,
+    enable,
+    is_enabled,
+    iter_spans,
+    render_text,
+    reset,
+    snapshot,
+    span,
+)
+from repro.obs.tracing import Span, Tracer
+
+__all__ = [
+    "DEFAULT_TIME_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "OBS",
+    "Span",
+    "Tracer",
+    "disable",
+    "enable",
+    "is_enabled",
+    "iter_spans",
+    "render_text",
+    "reset",
+    "snapshot",
+    "span",
+]

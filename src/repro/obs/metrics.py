@@ -1,0 +1,312 @@
+"""Process-local metrics: counters, gauges, fixed-bucket histograms.
+
+The paper's efficiency story is quantitative — decentralized learning
+time is the *max* over per-CPD times (Sec. 3.4), the workflow-derived
+CPD removes the most expensive learning step (Sec. 3.3) — so the
+runtime needs numbers, not logs.  This module is the zero-dependency
+metrics half of :mod:`repro.obs`: a :class:`MetricsRegistry` holding
+named :class:`Counter` / :class:`Gauge` / :class:`Histogram`
+instruments with snapshot/reset semantics and text + JSON exporters.
+
+Design constraints, in order:
+
+- **cheap** — an increment is a dict lookup, a lock, and an integer
+  add; the histogram is fixed-bucket so ``observe`` never allocates;
+- **thread-safe** — :func:`repro.decentralized.parallel.
+  parallel_parameter_learning` reports fits from whatever thread drains
+  the pool, and the chaos suites hammer the serving counters;
+- **reset-in-place** — call sites may cache instrument handles, so
+  :meth:`MetricsRegistry.reset` zeroes values without invalidating the
+  objects.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import Dict, Iterator, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_TIME_BUCKETS",
+]
+
+#: Log-spaced latency buckets (seconds): 1µs .. 50s plus an overflow
+#: bucket.  Wide enough for einsum kernels and whole MAPE cycles alike.
+DEFAULT_TIME_BUCKETS: Tuple[float, ...] = tuple(
+    m * 10.0**e for e in range(-6, 2) for m in (1.0, 2.5, 5.0)
+)
+
+
+class Counter:
+    """A monotonically increasing integer metric."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def inc(self, n: int = 1) -> None:
+        if n < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (n={n})")
+        with self._lock:
+            self._value += int(n)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._value = 0
+
+
+class Gauge:
+    """A point-in-time float metric (last write wins)."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def add(self, delta: float) -> None:
+        with self._lock:
+            self._value += float(delta)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._value = 0.0
+
+
+class Histogram:
+    """Fixed-bucket histogram with percentile summaries.
+
+    ``buckets`` are increasing finite upper bounds; observations above
+    the last bound land in an implicit overflow bucket.  Percentiles
+    interpolate linearly inside the winning bucket and are clamped to
+    the observed ``[min, max]`` range, so the degenerate cases (empty,
+    single sample, everything in overflow) stay well-defined.
+    """
+
+    __slots__ = ("name", "buckets", "_counts", "_lock", "_n", "_sum", "_min", "_max")
+
+    def __init__(self, name: str, buckets: Optional[Sequence[float]] = None):
+        bounds = tuple(float(b) for b in (buckets or DEFAULT_TIME_BUCKETS))
+        if not bounds or any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError(
+                f"histogram {name!r} needs strictly increasing buckets, got {bounds}"
+            )
+        self.name = name
+        self.buckets = bounds
+        self._counts = [0] * (len(bounds) + 1)  # +1: overflow bucket
+        self._lock = threading.Lock()
+        self._n = 0
+        self._sum = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        lo, hi = 0, len(self.buckets)
+        while lo < hi:  # bisect: first bucket whose bound >= value
+            mid = (lo + hi) // 2
+            if value <= self.buckets[mid]:
+                hi = mid
+            else:
+                lo = mid + 1
+        with self._lock:
+            self._counts[lo] += 1
+            self._n += 1
+            self._sum += value
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+
+    # -- read side ----------------------------------------------------- #
+
+    @property
+    def count(self) -> int:
+        return self._n
+
+    @property
+    def total(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> Optional[float]:
+        return self._sum / self._n if self._n else None
+
+    @property
+    def min(self) -> Optional[float]:
+        return self._min if self._n else None
+
+    @property
+    def max(self) -> Optional[float]:
+        return self._max if self._n else None
+
+    @property
+    def overflow_count(self) -> int:
+        """Observations above the last finite bucket bound."""
+        return self._counts[-1]
+
+    def bucket_counts(self) -> Tuple[int, ...]:
+        return tuple(self._counts)
+
+    def percentile(self, q: float) -> Optional[float]:
+        """Approximate q-th percentile (``q`` in [0, 100])."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        if self._n == 0:
+            return None
+        if self._n == 1:
+            return self._min
+        rank = q / 100.0 * self._n
+        cumulative = 0
+        for i, count in enumerate(self._counts):
+            cumulative += count
+            if cumulative >= rank and count:
+                if i >= len(self.buckets):  # overflow: no finite upper bound
+                    return self._max
+                upper = self.buckets[i]
+                lower = self.buckets[i - 1] if i else min(0.0, self._min)
+                fraction = (rank - (cumulative - count)) / count
+                estimate = lower + fraction * (upper - lower)
+                return max(self._min, min(self._max, estimate))
+        return self._max
+
+    def summary(self) -> dict:
+        with self._lock:
+            return {
+                "count": self._n,
+                "sum": self._sum,
+                "mean": self.mean,
+                "min": self.min,
+                "max": self.max,
+                "p50": self.percentile(50.0),
+                "p95": self.percentile(95.0),
+                "p99": self.percentile(99.0),
+                "overflow": self._counts[-1],
+            }
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counts = [0] * (len(self.buckets) + 1)
+            self._n = 0
+            self._sum = 0.0
+            self._min = float("inf")
+            self._max = float("-inf")
+
+
+class MetricsRegistry:
+    """Named instruments with get-or-create access and atomic snapshots."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- get-or-create ------------------------------------------------- #
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            instrument = self._counters.get(name)
+            if instrument is None:
+                instrument = self._counters[name] = Counter(name)
+            return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            instrument = self._gauges.get(name)
+            if instrument is None:
+                instrument = self._gauges[name] = Gauge(name)
+            return instrument
+
+    def histogram(
+        self, name: str, buckets: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        with self._lock:
+            instrument = self._histograms.get(name)
+            if instrument is None:
+                instrument = self._histograms[name] = Histogram(name, buckets)
+            return instrument
+
+    def __iter__(self) -> Iterator[str]:
+        with self._lock:
+            names = sorted((*self._counters, *self._gauges, *self._histograms))
+        return iter(names)
+
+    # -- snapshot / reset ---------------------------------------------- #
+
+    def snapshot(self) -> dict:
+        """A point-in-time, JSON-ready view of every instrument."""
+        with self._lock:
+            return {
+                "counters": {
+                    name: c.value for name, c in sorted(self._counters.items())
+                },
+                "gauges": {name: g.value for name, g in sorted(self._gauges.items())},
+                "histograms": {
+                    name: h.summary()
+                    for name, h in sorted(self._histograms.items())
+                },
+            }
+
+    def reset(self) -> None:
+        """Zero every instrument in place (cached handles stay valid)."""
+        with self._lock:
+            instruments = (
+                *self._counters.values(),
+                *self._gauges.values(),
+                *self._histograms.values(),
+            )
+        for instrument in instruments:
+            instrument.reset()
+
+    # -- exporters ------------------------------------------------------ #
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent)
+
+    def render_text(self) -> str:
+        """Human-readable export, one instrument per line."""
+        snap = self.snapshot()
+        lines = []
+        if snap["counters"]:
+            lines.append("# counters")
+            width = max(len(n) for n in snap["counters"])
+            for name, value in snap["counters"].items():
+                lines.append(f"{name:<{width}}  {value}")
+        if snap["gauges"]:
+            lines.append("# gauges")
+            width = max(len(n) for n in snap["gauges"])
+            for name, value in snap["gauges"].items():
+                lines.append(f"{name:<{width}}  {value:.6g}")
+        if snap["histograms"]:
+            lines.append("# histograms")
+            for name, s in snap["histograms"].items():
+                if s["count"] == 0:
+                    lines.append(f"{name}  count=0")
+                    continue
+                lines.append(
+                    f"{name}  count={s['count']} mean={s['mean']:.6g} "
+                    f"p50={s['p50']:.6g} p95={s['p95']:.6g} "
+                    f"p99={s['p99']:.6g} max={s['max']:.6g}"
+                )
+        return "\n".join(lines) if lines else "(no metrics recorded)"

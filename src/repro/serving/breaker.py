@@ -17,6 +17,7 @@ from __future__ import annotations
 from collections import deque
 
 from repro.exceptions import ServingError
+from repro.obs.runtime import OBS as _OBS
 from repro.utils.rng import ensure_rng
 
 CLOSED = "closed"
@@ -33,13 +34,21 @@ class CircuitBreaker:
     circuit; a failed one re-opens it for a fresh cooldown.
     """
 
-    def __init__(self, failure_threshold: int = 3, cooldown: int = 10):
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        cooldown: int = 10,
+        name: "str | None" = None,
+    ):
         if failure_threshold < 1:
             raise ServingError("failure_threshold must be >= 1")
         if cooldown < 1:
             raise ServingError("cooldown must be >= 1")
         self.failure_threshold = int(failure_threshold)
         self.cooldown = int(cooldown)
+        #: Label used in observability metric names (falls back to
+        #: ``"breaker"`` for anonymous instances).
+        self.name = str(name) if name is not None else "breaker"
         self._state = CLOSED
         self._consecutive_failures = 0
         self._cooldown_remaining = 0
@@ -50,6 +59,18 @@ class CircuitBreaker:
     def state(self) -> str:
         return self._state
 
+    def _transition(self, new_state: str) -> None:
+        """State change + observability: every transition is counted and
+        the per-breaker ``open`` gauge tracks 1 while not CLOSED."""
+        old, self._state = self._state, new_state
+        if old != new_state and _OBS.enabled:
+            m = _OBS.metrics
+            m.counter("serving.breaker.transitions").inc()
+            m.counter(f"serving.breaker.{self.name}.to_{new_state}").inc()
+            m.gauge(f"serving.breaker.{self.name}.open").set(
+                0.0 if new_state == CLOSED else 1.0
+            )
+
     def allow(self) -> bool:
         """May the guarded backend be attempted right now?"""
         if self._state == CLOSED:
@@ -59,7 +80,7 @@ class CircuitBreaker:
                 self._cooldown_remaining -= 1
                 self.n_refused += 1
                 return False
-            self._state = HALF_OPEN
+            self._transition(HALF_OPEN)
             return True
         # HALF_OPEN: exactly one probe is in flight per cooldown lapse;
         # further callers wait for its outcome.
@@ -68,7 +89,7 @@ class CircuitBreaker:
 
     def record_success(self) -> None:
         self._consecutive_failures = 0
-        self._state = CLOSED
+        self._transition(CLOSED)
 
     def record_failure(self) -> None:
         self._consecutive_failures += 1
@@ -76,7 +97,7 @@ class CircuitBreaker:
             self._state == HALF_OPEN
             or self._consecutive_failures >= self.failure_threshold
         ):
-            self._state = OPEN
+            self._transition(OPEN)
             self._cooldown_remaining = self.cooldown
             self._consecutive_failures = 0
             self.n_trips += 1

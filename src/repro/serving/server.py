@@ -32,6 +32,7 @@ import numpy as np
 from repro.apps.violation import tail_probability_from_pmf
 from repro.bn.network import DiscreteBayesianNetwork, HybridResponseNetwork
 from repro.exceptions import ServingError
+from repro.obs.runtime import OBS as _OBS
 from repro.serving.breaker import AdmissionController, CircuitBreaker
 from repro.serving.fallback import (
     CHAIN,
@@ -99,6 +100,27 @@ class ServerStats:
             self.n_failed += 1
         if result.deadline_exceeded:
             self.n_deadline_exceeded += 1
+        if _OBS.enabled:
+            self._record_obs(result)
+
+    def _record_obs(self, result: QueryResult) -> None:
+        """Mirror one outcome into the process metrics registry — the
+        single choke point every ModelServer entry path flows through."""
+        m = _OBS.metrics
+        m.counter("serving.queries").inc()
+        m.counter(f"serving.status.{result.status}").inc()
+        if result.status == STATUS_OK and result.tier is not None:
+            m.counter(f"serving.tier.{result.tier}").inc()
+            if result.tier_errors:
+                m.counter("serving.degraded_answers").inc()
+        if result.deadline_exceeded:
+            m.counter("serving.deadline_misses").inc()
+        if result.status == STATUS_REJECTED:
+            m.counter("serving.rejection_reasons").inc(len(result.reasons))
+        if result.elapsed_seconds:
+            m.histogram("serving.query.seconds").observe(
+                result.elapsed_seconds
+            )
 
 
 class ModelServer:
@@ -122,7 +144,7 @@ class ModelServer:
         self.rng = ensure_rng(rng)
         self.admission = admission
         self.breakers = {
-            tier: CircuitBreaker(breaker_threshold, breaker_cooldown)
+            tier: CircuitBreaker(breaker_threshold, breaker_cooldown, name=tier)
             for tier in (*CHAIN[:-1], TIER_ANALYTIC)
         }
         self.stats = ServerStats()
@@ -336,6 +358,10 @@ class ModelServer:
             binned=binned,
         )
         self.stats.n_rows_rejected += sanitized.n_rejected
+        if _OBS.enabled and sanitized.n_rejected:
+            _OBS.metrics.counter("serving.rows_rejected").inc(
+                sanitized.n_rejected
+            )
         results: "list[QueryResult | None]" = [None] * len(rows)
         for rejection in sanitized.rejections:
             results[rejection.index] = QueryResult(

@@ -6,6 +6,9 @@ so the suite stays fast on a single core; tests must not mutate them.
 
 from __future__ import annotations
 
+import json
+import os
+
 import numpy as np
 import pytest
 
@@ -13,6 +16,26 @@ from repro.bn.cpd import LinearGaussianCPD
 from repro.bn.dag import DAG
 from repro.bn.network import GaussianBayesianNetwork
 from repro.simulator.scenarios.ediamond import ediamond_scenario
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _obs_snapshot_artifact():
+    """When ``REPRO_OBS_SNAPSHOT_OUT`` names a path, enable observability
+    for the whole run and dump the final metrics + trace snapshot there at
+    teardown — CI sets this on the chaos suites and uploads the JSON as a
+    build artifact."""
+    out = os.environ.get("REPRO_OBS_SNAPSHOT_OUT")
+    if not out:
+        yield
+        return
+    from repro import obs
+
+    obs.enable()
+    obs.reset()
+    yield
+    with open(out, "w") as fh:
+        json.dump(obs.snapshot(), fh, indent=2, default=str)
+    obs.disable()
 
 
 @pytest.fixture

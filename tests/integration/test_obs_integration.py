@@ -1,0 +1,113 @@
+"""End-to-end observability acceptance (the ISSUE's headline scenario).
+
+Enable obs, serve a batch through :class:`ModelServer`, run one
+decentralized learning round, then check the snapshot shows: nonzero
+per-tier answer counts, a per-agent fit-time histogram, and a
+``decentralized.round`` span whose duration is exactly the Sec.-3.4
+max-over-agents time.  Finally the ``repro obs`` CLI must render the
+same state from inside the process.
+"""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs import runtime
+
+
+@pytest.fixture
+def obs_active():
+    was_enabled = runtime.OBS.enabled
+    obs.enable()
+    obs.reset()
+    yield obs
+    obs.reset()
+    runtime.OBS.enabled = was_enabled
+
+
+def _serve_batch(model):
+    from repro.serving.server import ModelServer
+
+    srv = ModelServer(model, rng=0)
+    svc = [n for n in model.network.nodes if n != model.response][0]
+    rows = [{svc: 0}, {svc: 1}, {svc: 2}]
+    results = srv.query_batch([model.response], rows, binned=True)
+    assert all(r.ok for r in results)
+    return results
+
+
+def _learn_round(ediamond_env, train):
+    from repro.decentralized.agent import linear_gaussian_fitter
+    from repro.decentralized.coordinator import Coordinator
+
+    dag = ediamond_env.knowledge_structure()
+    service_dag = dag.subgraph([n for n in dag.nodes if n != "D"])
+    coord = Coordinator(service_dag, linear_gaussian_fitter())
+    return coord.learn_round(train)
+
+
+def test_snapshot_after_serving_and_learning(
+    obs_active, ediamond_env, ediamond_data, ediamond_discrete_model
+):
+    train, _ = ediamond_data
+    results = _serve_batch(ediamond_discrete_model)
+    round_result = _learn_round(ediamond_env, train)
+
+    snap = obs.snapshot()
+    counters = snap["metrics"]["counters"]
+
+    # Serving answered through a tier and counted every row.
+    tier_counts = {
+        name: v for name, v in counters.items()
+        if name.startswith("serving.tier.")
+    }
+    assert sum(tier_counts.values()) == len(results)
+    assert counters["serving.queries"] == len(results)
+
+    # Learning produced the per-agent fit-time histogram.
+    fit_hist = snap["metrics"]["histograms"]["decentralized.agent_fit_seconds"]
+    assert fit_hist["count"] == len(round_result.fresh) > 0
+    assert counters["decentralized.rounds"] == 1
+
+    # The round span carries the paper's max-over-agents time: with no
+    # response CPD in this round, its duration equals the slowest
+    # agent-span duration exactly.
+    round_span = obs.OBS.tracer.find("decentralized.round")
+    assert round_span is not None
+    agent_spans = [
+        c for c in round_span.children if c.name.startswith("agent:")
+    ]
+    assert len(agent_spans) == len(round_result.per_agent_seconds)
+    assert round_span.duration == max(c.duration for c in agent_spans)
+    assert round_span.duration == round_result.decentralized_seconds
+
+    # The span tree is present in the JSON snapshot too.
+    names = {sp["name"] for sp in snap["trace"]}
+    assert "decentralized.round" in names
+
+
+def test_cli_obs_snapshot_renders_live_state(
+    obs_active, ediamond_discrete_model, capsys
+):
+    from repro.cli import main
+
+    _serve_batch(ediamond_discrete_model)
+    assert main(["obs", "snapshot"]) == 0
+    out = capsys.readouterr().out
+    assert "serving.queries" in out
+    assert main(["obs", "snapshot", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["metrics"]["counters"]["serving.queries"] >= 3
+
+
+def test_cli_trace_out_writes_snapshot(obs_active, tmp_path, capsys):
+    from repro.cli import main
+
+    out_path = tmp_path / "trace.json"
+    code = main(["--trace-out", str(out_path), "obs", "snapshot"])
+    assert code == 0
+    payload = json.loads(out_path.read_text())
+    assert payload["enabled"] is True
+    span_names = {sp["name"] for sp in payload["trace"]}
+    assert "cli.obs" in span_names

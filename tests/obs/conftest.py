@@ -1,0 +1,21 @@
+"""Obs-suite fixture: enable observability for one test, leave no trace.
+
+The obs state is process-global, so every test that turns it on must
+restore the previous enable flag and zero the registry/tracer on the
+way out — otherwise later (unrelated) tests would see leaked counters.
+"""
+
+import pytest
+
+from repro import obs
+from repro.obs import runtime
+
+
+@pytest.fixture
+def obs_active():
+    was_enabled = runtime.OBS.enabled
+    obs.enable()
+    obs.reset()
+    yield obs
+    obs.reset()
+    runtime.OBS.enabled = was_enabled

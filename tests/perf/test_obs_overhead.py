@@ -1,0 +1,95 @@
+"""Disabled-mode observability must cost (almost) nothing on hot paths.
+
+The instrumented hot paths guard on a single ``OBS.enabled`` attribute
+read, so the honest way to bound the disabled overhead is to price that
+guard directly: time a loop of attribute reads, scale it by the number
+of guard evaluations a ``query_batch`` call performs, and require the
+total to be under 5% of the call's own cost.  A second, coarser check
+compares enabled vs disabled wall clock on the same batch with a
+generous bound — it would only trip if instrumentation grew grossly
+beyond counter bumps.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.obs import runtime
+
+N_ROWS = 1_000
+
+
+@pytest.fixture(scope="module")
+def batch_setup(ediamond_discrete_model):
+    net = ediamond_discrete_model.network
+    engine = net.compiled()
+    rng = np.random.default_rng(0)
+    cards = net.cardinalities
+    rows = [
+        {v: int(rng.integers(0, cards[v])) for v in ("X1", "X2", "D")}
+        for _ in range(N_ROWS)
+    ]
+    target = [str(n) for n in net.nodes if str(n) not in ("X1", "X2", "D")][:1]
+    engine.query_batch(target, rows)  # warm the plan cache
+    return engine, target, rows
+
+
+def _time_batch(engine, target, rows, repeats=5):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        engine.query_batch(target, rows)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_disabled_guard_cost_under_5_percent(batch_setup):
+    engine, target, rows = batch_setup
+    was_enabled = runtime.OBS.enabled
+    runtime.OBS.enabled = False
+    try:
+        per_call = _time_batch(engine, target, rows)
+
+        # Price one guard: a loop of OBS.enabled attribute reads.
+        n = 100_000
+        state = runtime.OBS
+        t0 = time.perf_counter()
+        for _ in range(n):
+            if state.enabled:  # pragma: no cover - always false here
+                raise AssertionError
+        per_guard = (time.perf_counter() - t0) / n
+
+        # query_batch evaluates a handful of guards per call (entry +
+        # exit + plan lookup); 10 is a generous over-count.
+        guard_cost = 10 * per_guard
+        assert guard_cost < 0.05 * per_call, (
+            f"disabled-mode guard cost {guard_cost * 1e9:.0f}ns is not "
+            f"under 5% of a query_batch call ({per_call * 1e6:.0f}us)"
+        )
+    finally:
+        runtime.OBS.enabled = was_enabled
+
+
+def test_enabled_mode_stays_in_the_same_ballpark(batch_setup):
+    """Coarse tripwire: enabling obs must not multiply batch latency.
+
+    Per batch the enabled path adds a clock read, two counter bumps and
+    one histogram observe — nanoseconds against a millisecond-scale
+    call — so 1.5x is far beyond any legitimate instrumentation cost.
+    """
+    engine, target, rows = batch_setup
+    was_enabled = runtime.OBS.enabled
+    try:
+        runtime.OBS.enabled = False
+        disabled = _time_batch(engine, target, rows)
+        obs.enable()
+        enabled = _time_batch(engine, target, rows)
+    finally:
+        obs.reset()
+        runtime.OBS.enabled = was_enabled
+    assert enabled < disabled * 1.5, (
+        f"enabled obs slowed query_batch {enabled / disabled:.2f}x "
+        f"(disabled {disabled * 1e3:.2f}ms, enabled {enabled * 1e3:.2f}ms)"
+    )

@@ -1,0 +1,102 @@
+"""The CI benchmark-regression gate must catch real slowdowns.
+
+Loads ``benchmarks/check_regression.py`` by path (benchmarks/ is not a
+package) and drives ``compare``/``main`` with synthetic payloads: the
+acceptance case here is that a 2x slowdown *fails* the gate while a
+within-tolerance wobble passes.
+"""
+
+import copy
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_GATE = Path(__file__).resolve().parent.parent / "benchmarks" / "check_regression.py"
+
+
+def _load_gate():
+    spec = importlib.util.spec_from_file_location("check_regression", _GATE)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+gate = _load_gate()
+
+BASELINE = {
+    "single": {"compile_once_speedup": 10.0},
+    "batched": {"batched_speedup_vs_loop": 20.0, "batched_qps": 100000.0},
+}
+
+
+def test_identical_payload_passes():
+    failures, report = gate.compare(BASELINE, copy.deepcopy(BASELINE))
+    assert failures == []
+    assert len(report) == 2
+
+
+def test_two_x_slowdown_fails():
+    slow = copy.deepcopy(BASELINE)
+    slow["single"]["compile_once_speedup"] /= 2.0
+    slow["batched"]["batched_speedup_vs_loop"] /= 2.0
+    failures, _ = gate.compare(BASELINE, slow)
+    assert len(failures) == 2
+    assert all("FAIL" in line for line in failures)
+
+
+def test_drop_within_tolerance_passes():
+    wobble = copy.deepcopy(BASELINE)
+    wobble["single"]["compile_once_speedup"] *= 0.9  # -10% < 30% tolerance
+    failures, _ = gate.compare(BASELINE, wobble)
+    assert failures == []
+
+
+def test_improvements_never_fail():
+    better = copy.deepcopy(BASELINE)
+    better["single"]["compile_once_speedup"] *= 3.0
+    failures, _ = gate.compare(BASELINE, better)
+    assert failures == []
+
+
+def test_absolute_flag_gates_qps():
+    slow = copy.deepcopy(BASELINE)
+    slow["batched"]["batched_qps"] /= 2.0
+    failures, _ = gate.compare(BASELINE, slow)
+    assert failures == []  # ratio metrics untouched
+    failures, _ = gate.compare(BASELINE, slow, absolute=True)
+    assert len(failures) == 1
+    assert "batched_qps" in failures[0]
+
+
+def test_missing_key_is_a_hard_error():
+    broken = {"single": {}}
+    with pytest.raises(SystemExit, match="compile_once_speedup"):
+        gate.compare(BASELINE, broken)
+
+
+def test_bad_tolerance_rejected():
+    with pytest.raises(SystemExit, match="tolerance"):
+        gate.compare(BASELINE, BASELINE, tolerance=1.5)
+
+
+def test_main_exit_codes(tmp_path):
+    base_file = tmp_path / "base.json"
+    base_file.write_text(json.dumps(BASELINE))
+    slow = copy.deepcopy(BASELINE)
+    slow["batched"]["batched_speedup_vs_loop"] /= 2.0
+    slow_file = tmp_path / "slow.json"
+    slow_file.write_text(json.dumps(slow))
+    ok = gate.main(["--baseline", str(base_file), "--fresh", str(base_file)])
+    assert ok == 0
+    failed = gate.main(["--baseline", str(base_file), "--fresh", str(slow_file)])
+    assert failed == 1
+
+
+def test_gate_accepts_the_committed_baseline():
+    """The real BENCH_inference.json must satisfy the gate's schema."""
+    committed = _GATE.parent.parent / "BENCH_inference.json"
+    payload = json.loads(committed.read_text())
+    failures, _ = gate.compare(payload, payload, absolute=True)
+    assert failures == []
