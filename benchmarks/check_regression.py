@@ -1,18 +1,26 @@
-"""CI gate: fail when the inference benchmark regresses.
+"""CI gate: fail when a guarded benchmark regresses.
 
-``benchmarks/test_inference_throughput.py`` persists its numbers to
-``BENCH_inference.json``.  This script compares a freshly produced
-payload against the committed baseline and exits non-zero when a
-guarded metric drops more than ``--tolerance`` (default 30%) below the
-baseline — keeping PR 1's compile-once (10.5x) and batched (22x)
-speedups from silently eroding.
+Two benchmark payloads are guarded:
 
-Guarded metrics are the machine-independent speedup *ratios*
-(``single.compile_once_speedup`` and ``batched.batched_speedup_vs_loop``
-— the batched-throughput multiplier over a per-row loop), because a CI
-runner's absolute queries/sec varies with hardware.  Pass ``--absolute``
-to additionally gate raw ``batched.batched_qps`` when baseline and
-fresh numbers come from the same machine.
+- ``--suite inference`` (default) —
+  ``benchmarks/test_inference_throughput.py`` persists its numbers to
+  ``BENCH_inference.json``; the gate keeps PR 1's compile-once (10.5x)
+  and batched (22x) speedups from silently eroding.
+- ``--suite obs`` — ``tests/perf/test_obs_overhead.py`` persists
+  ``BENCH_obs.json`` (enabled-vs-disabled instrumentation overhead and
+  ``/metrics`` scrape latency); the gate keeps the observability layer's
+  "near-zero overhead" contract from silently eroding.
+
+Each guarded metric has a *direction*: for higher-is-better metrics
+(speedup ratios) the gate fails when ``fresh < baseline * (1 -
+tolerance)``; for lower-is-better metrics (overhead ratios, latencies)
+it fails when ``fresh > baseline * (1 + tolerance)``.  Improvements
+never fail — the gate is one-sided per metric; committed baselines are
+refreshed by re-running the benchmark, not by the gate.
+
+Machine-independent ratios are always gated; pass ``--absolute`` to
+additionally gate raw numbers (qps, scrape seconds) when baseline and
+fresh come from the same machine.
 
 Usage (as CI runs it)::
 
@@ -21,6 +29,12 @@ Usage (as CI runs it)::
     python benchmarks/check_regression.py \
         --baseline baseline.json \
         --fresh benchmarks/results/BENCH_inference.json
+
+    cp BENCH_obs.json obs-baseline.json
+    python -m pytest tests/perf/test_obs_overhead.py -q
+    python benchmarks/check_regression.py --suite obs \
+        --baseline obs-baseline.json \
+        --fresh benchmarks/results/BENCH_obs.json
 """
 
 from __future__ import annotations
@@ -32,7 +46,7 @@ from typing import List, Tuple
 
 DEFAULT_TOLERANCE = 0.30
 
-#: (section, key, human label) for the always-on ratio checks.
+#: (section, key, human label) for the always-on inference ratio checks.
 RATIO_METRICS: Tuple[Tuple[str, str, str], ...] = (
     ("single", "compile_once_speedup", "compile-once speedup"),
     ("batched", "batched_speedup_vs_loop", "batched throughput vs row loop"),
@@ -40,6 +54,32 @@ RATIO_METRICS: Tuple[Tuple[str, str, str], ...] = (
 ABSOLUTE_METRICS: Tuple[Tuple[str, str, str], ...] = (
     ("batched", "batched_qps", "batched rows/sec"),
 )
+
+#: Per-suite guarded metrics.  ``lower`` entries are higher-is-better
+#: (gate on a floor); ``upper`` entries are lower-is-better (gate on a
+#: ceiling).  ``*_absolute`` entries only apply with ``--absolute``.
+SUITES = {
+    "inference": {
+        "lower": RATIO_METRICS,
+        "lower_absolute": ABSOLUTE_METRICS,
+        "upper": (),
+        "upper_absolute": (),
+    },
+    "obs": {
+        "lower": (),
+        "lower_absolute": (),
+        "upper": (
+            (
+                "overhead",
+                "enabled_over_disabled_ratio",
+                "enabled/disabled query_batch latency ratio",
+            ),
+        ),
+        "upper_absolute": (
+            ("scrape", "p95_seconds", "p95 /metrics render latency (s)"),
+        ),
+    },
+}
 
 
 def extract(payload: dict, section: str, key: str) -> float:
@@ -58,43 +98,64 @@ def compare(
     fresh: dict,
     tolerance: float = DEFAULT_TOLERANCE,
     absolute: bool = False,
+    suite: str = "inference",
 ) -> Tuple[List[str], List[str]]:
     """Return ``(failures, report_lines)`` for fresh-vs-baseline.
 
-    A metric fails when ``fresh < baseline * (1 - tolerance)``.
-    Improvements never fail (the gate is one-sided: committed baselines
-    are refreshed by re-running the benchmark, not by the gate).
+    A higher-is-better metric fails when ``fresh < baseline * (1 -
+    tolerance)``; a lower-is-better metric fails when ``fresh >
+    baseline * (1 + tolerance)``.  Improvements never fail.
     """
     if not 0.0 < tolerance < 1.0:
         raise SystemExit(f"tolerance must be in (0, 1), got {tolerance}")
-    checks = RATIO_METRICS + (ABSOLUTE_METRICS if absolute else ())
+    if suite not in SUITES:
+        raise SystemExit(
+            f"unknown suite {suite!r} (expected one of {sorted(SUITES)})"
+        )
+    spec = SUITES[suite]
+    lower = spec["lower"] + (spec["lower_absolute"] if absolute else ())
+    upper = spec["upper"] + (spec["upper_absolute"] if absolute else ())
     failures: List[str] = []
     report: List[str] = []
-    for section, key, label in checks:
-        base = extract(baseline, section, key)
-        new = extract(fresh, section, key)
-        floor = base * (1.0 - tolerance)
-        ok = new >= floor
-        line = (
-            f"{'ok  ' if ok else 'FAIL'} {label} ({section}.{key}): "
-            f"baseline={base:.2f} fresh={new:.2f} floor={floor:.2f} "
-            f"({(new / base - 1.0) * 100.0:+.1f}%)"
-        )
-        report.append(line)
-        if not ok:
-            failures.append(line)
+    for checks, is_floor in ((lower, True), (upper, False)):
+        for section, key, label in checks:
+            base = extract(baseline, section, key)
+            new = extract(fresh, section, key)
+            if is_floor:
+                bound = base * (1.0 - tolerance)
+                ok = new >= bound
+                bound_label = "floor"
+            else:
+                bound = base * (1.0 + tolerance)
+                ok = new <= bound
+                bound_label = "ceiling"
+            line = (
+                f"{'ok  ' if ok else 'FAIL'} {label} ({section}.{key}): "
+                f"baseline={base:.4g} fresh={new:.4g} "
+                f"{bound_label}={bound:.4g} "
+                f"({(new / base - 1.0) * 100.0:+.1f}%)"
+            )
+            report.append(line)
+            if not ok:
+                failures.append(line)
     return failures, report
 
 
 def main(argv: "List[str] | None" = None) -> int:
     parser = argparse.ArgumentParser(
-        description="fail when BENCH_inference metrics regress vs baseline"
+        description="fail when guarded benchmark metrics regress vs baseline"
     )
     parser.add_argument(
-        "--baseline", required=True, help="committed BENCH_inference.json"
+        "--baseline", required=True, help="committed BENCH_*.json"
     )
     parser.add_argument(
-        "--fresh", required=True, help="freshly produced BENCH_inference.json"
+        "--fresh", required=True, help="freshly produced BENCH_*.json"
+    )
+    parser.add_argument(
+        "--suite",
+        choices=sorted(SUITES),
+        default="inference",
+        help="which guarded metric set to apply (default: inference)",
     )
     parser.add_argument(
         "--tolerance",
@@ -113,9 +174,16 @@ def main(argv: "List[str] | None" = None) -> int:
     with open(args.fresh) as fh:
         fresh = json.load(fh)
     failures, report = compare(
-        baseline, fresh, tolerance=args.tolerance, absolute=args.absolute
+        baseline,
+        fresh,
+        tolerance=args.tolerance,
+        absolute=args.absolute,
+        suite=args.suite,
     )
-    print(f"benchmark regression gate (tolerance {args.tolerance:.0%}):")
+    print(
+        f"benchmark regression gate "
+        f"[{args.suite}] (tolerance {args.tolerance:.0%}):"
+    )
     for line in report:
         print(f"  {line}")
     if failures:

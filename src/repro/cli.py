@@ -16,12 +16,19 @@ Subcommands
 - ``dcomp``            — posterior of an unobservable service.
 - ``registry``         — versioned model store: list/publish/activate/rollback.
 - ``serve``            — guarded one-shot query through the fallback chain.
-- ``obs``              — dump or reset this process's observability state.
+- ``obs``              — dump or reset this process's observability state
+  (``snapshot --format prom`` emits the same Prometheus text the HTTP
+  ``/metrics`` endpoint serves).
+- ``dashboard``        — render a snapshot (live state, ``--trace-out``
+  file, or a running endpoint's ``/snapshot`` URL) as a terminal
+  summary and/or a self-contained HTML report.
 
 Every subcommand also accepts a global ``--trace-out PATH``: it enables
 :mod:`repro.obs` for the run, wraps the command in a ``cli.<command>``
 span, and writes the full observability snapshot (metrics + span tree)
-as JSON to ``PATH`` on exit.
+as JSON to ``PATH`` on exit.  A global ``--serve-metrics PORT`` likewise
+enables observability and serves ``/metrics`` + ``/snapshot`` over HTTP
+for the duration of the command, so long runs can be scraped live.
 
 Example
 -------
@@ -95,7 +102,13 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         env = ediamond_scenario()
     else:
         env = random_environment(args.n_services, rng=args.seed)
-    data = env.simulate(args.points, rng=args.seed + 1)
+    if args.via_agents:
+        data = env.simulate_via_agents(
+            args.points, rng=args.seed + 1,
+            reporting_loss=args.reporting_loss,
+        )
+    else:
+        data = env.simulate(args.points, rng=args.seed + 1)
     dataset_to_csv(data, args.out)
     print(f"wrote {data.n_rows} points x {len(data.columns)} columns to {args.out}")
     if args.workflow_out:
@@ -207,6 +220,7 @@ def cmd_localize(args: argparse.Namespace) -> int:
 
 def cmd_obs(args: argparse.Namespace) -> int:
     from repro import obs
+    from repro.obs.export import render
 
     if args.action == "reset":
         obs.reset()
@@ -216,17 +230,32 @@ def cmd_obs(args: argparse.Namespace) -> int:
         obs.enable()
         print("observability enabled for this process")
         return 0
-    # snapshot
-    if args.json:
-        text = json.dumps(obs.snapshot(), indent=2)
-    else:
-        text = obs.render_text()
+    # snapshot — one serialization path shared with the HTTP endpoint
+    fmt = "json" if args.json else args.format
+    text = render(fmt)
     if args.out:
         with open(args.out, "w") as fh:
             fh.write(text + "\n")
         print(f"wrote observability snapshot to {args.out}")
     else:
         print(text)
+    return 0
+
+
+def cmd_dashboard(args: argparse.Namespace) -> int:
+    from repro.obs.dashboard import load_snapshot, render_html, render_terminal
+
+    snap = load_snapshot(args.url or args.snapshot)
+    if args.html:
+        with open(args.html, "w", encoding="utf-8") as fh:
+            fh.write(render_html(snap, title=args.title) + "\n")
+        print(f"wrote HTML report to {args.html}")
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(render_terminal(snap) + "\n")
+        print(f"wrote dashboard summary to {args.out}")
+    elif not args.html or args.print:
+        print(render_terminal(snap))
     return 0
 
 
@@ -322,6 +351,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="enable observability for this run and write the snapshot "
         "(metrics + span tree) as JSON to PATH",
     )
+    parser.add_argument(
+        "--serve-metrics",
+        metavar="PORT",
+        type=int,
+        default=None,
+        help="enable observability and serve /metrics + /snapshot on "
+        "this port (0 picks a free one) while the command runs",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("inspect-workflow", help="derive f and structure")
@@ -336,6 +373,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--out", required=True, help="output CSV path")
     p.add_argument("--workflow-out", help="also write the workflow JSON here")
+    p.add_argument("--via-agents", action="store_true",
+                   help="route measurements through the Fig.-1 monitoring "
+                        "pipeline (per-host agents + management server)")
+    p.add_argument("--reporting-loss", type=float, default=0.0,
+                   help="per-measurement drop probability on the agent "
+                        "path (implies NaNs in the dataset; needs "
+                        "--via-agents)")
     p.set_defaults(fn=cmd_simulate)
 
     p = sub.add_parser("build", help="build a model from workflow + data")
@@ -396,10 +440,33 @@ def build_parser() -> argparse.ArgumentParser:
         "obs", help="dump or reset this process's observability state"
     )
     p.add_argument("action", choices=("snapshot", "reset", "enable"))
+    p.add_argument("--format", choices=("text", "json", "prom"), default="text",
+                   help="snapshot serialization: human text, JSON, or "
+                   "Prometheus exposition (same renderer as /metrics)")
     p.add_argument("--json", action="store_true",
-                   help="emit the snapshot as JSON instead of text")
+                   help="shorthand for --format json (kept for back-compat)")
     p.add_argument("--out", help="write the snapshot here instead of stdout")
     p.set_defaults(fn=cmd_obs)
+
+    p = sub.add_parser(
+        "dashboard",
+        help="render an observability snapshot as a terminal summary "
+        "and/or self-contained HTML report",
+    )
+    p.add_argument("--snapshot", metavar="PATH",
+                   help="snapshot JSON file (e.g. from --trace-out); "
+                   "default: this process's live state")
+    p.add_argument("--url", metavar="URL",
+                   help="scrape a running export endpoint's /snapshot "
+                   "instead of reading a file")
+    p.add_argument("--html", metavar="PATH",
+                   help="write a self-contained HTML report here")
+    p.add_argument("--out", metavar="PATH",
+                   help="write the terminal summary here instead of stdout")
+    p.add_argument("--print", action="store_true",
+                   help="print the terminal summary even when --html is given")
+    p.add_argument("--title", default="repro observability report")
+    p.set_defaults(fn=cmd_dashboard)
 
     p = sub.add_parser("serve", help="guarded query with fallback chain")
     p.add_argument("--model", help="serve one bundle file")
@@ -420,12 +487,20 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: "Sequence[str] | None" = None) -> int:
     args = build_parser().parse_args(argv)
     trace_out = getattr(args, "trace_out", None)
-    if trace_out:
+    serve_port = getattr(args, "serve_metrics", None)
+    server = None
+    if trace_out or serve_port is not None:
         from repro import obs
 
         obs.enable()
+    if serve_port is not None:
+        from repro.obs.export import ExportServer
+
+        server = ExportServer(port=serve_port)
+        server.start()
+        print(f"serving metrics at {server.url}/metrics", file=sys.stderr)
     try:
-        if trace_out:
+        if trace_out or server is not None:
             with obs.span(f"cli.{args.command}"):
                 code = args.fn(args)
         else:
@@ -442,6 +517,8 @@ def main(argv: "Sequence[str] | None" = None) -> int:
                 json.dump(obs.snapshot(), fh, indent=2, default=str)
                 fh.write("\n")
             print(f"wrote observability snapshot to {trace_out}", file=sys.stderr)
+        if server is not None:
+            server.stop()
     return code
 
 

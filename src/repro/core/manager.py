@@ -78,6 +78,10 @@ class CycleReport:
     window_verdict: object = None        # the gate's WindowVerdict, if gated
     published_version: "int | None" = None  # registry version this cycle made
     rolled_back: bool = False            # accuracy tripwire reverted it
+    # Observability-layer outcomes (PR 5): measured-SLO breaches seen
+    # this cycle and which trigger(s) caused the action taken.
+    slo_breaches: list = field(default_factory=list)
+    trigger: "str | None" = None         # "model" | "slo" | "model+slo"
 
     @property
     def acted(self) -> bool:
@@ -96,13 +100,18 @@ class AutonomicManager:
         registry=None,
         quality_gate=None,
         tripwire_max_regression: float = 0.5,
+        slo_monitor=None,
     ):
         """``registry`` (a :class:`repro.serving.ModelRegistry`) makes
         every healthy rebuild a published version, checked by an
         accuracy tripwire that auto-rolls back regressions;
         ``quality_gate`` (a :class:`repro.serving.DataQualityGate`)
         screens each monitoring window before it reaches learning —
-        refused windows become degraded, quarantined cycles."""
+        refused windows become degraded, quarantined cycles;
+        ``slo_monitor`` (a :class:`repro.obs.slo.SLOMonitor`) is
+        evaluated once per cycle on the measured window stream — its
+        breaches trigger the plan/execute phases even when the model's
+        predicted violation probability is still inside policy."""
         if window_points < 10:
             raise ReproError("window_points must be >= 10")
         self.env = environment
@@ -111,6 +120,7 @@ class AutonomicManager:
         self.rng = ensure_rng(rng)
         self.registry = registry
         self.quality_gate = quality_gate
+        self.slo_monitor = slo_monitor
         self._tripwire = None
         if registry is not None:
             from repro.serving.quality import AccuracyTripwire
@@ -177,6 +187,8 @@ class AutonomicManager:
             report = self._run_cycle()
         if _t0 is not None:
             cycle_span.annotate(cycle=report.cycle, degraded=report.degraded)
+            if report.trigger is not None:
+                cycle_span.annotate(trigger=report.trigger)
             m = _OBS.metrics
             m.counter("manager.cycles").inc()
             m.histogram("manager.cycle.seconds").observe(_OBS.clock() - _t0)
@@ -194,11 +206,45 @@ class AutonomicManager:
                 )
         return report
 
+    def _feed_window_metrics(self, data) -> None:
+        """Publish the monitored window's measured response stream into
+        the metrics registry — the stream the SLO monitor (and any
+        scraper) judges.  Violations here are *measured* SLA overruns,
+        independent of anything a model predicts."""
+        m = _OBS.metrics
+        resp = np.asarray(data[self.env.response], dtype=float)
+        finite = resp[np.isfinite(resp)]
+        hist = m.histogram("manager.window.response_seconds")
+        for value in finite:
+            hist.observe(float(value))
+        m.counter("manager.window.points").inc(int(finite.size))
+        m.counter("manager.window.violations").inc(
+            int(np.count_nonzero(finite > self.policy.threshold))
+        )
+
+    def _evaluate_slo(self, data) -> list:
+        """Feed the window stream and run one SLO-monitor interval."""
+        if self.slo_monitor is None and not _OBS.enabled:
+            return []
+        self._feed_window_metrics(data)
+        if self.slo_monitor is None:
+            return []
+        with _span("manager.slo"):
+            breaches = self.slo_monitor.evaluate()
+        if breaches and _OBS.enabled:
+            _OBS.metrics.counter("manager.slo_breach_cycles").inc()
+        return breaches
+
     def _run_cycle(self) -> CycleReport:
         cycle = len(self.history)
         # Monitor: fresh window from the live environment.
         with _span("manager.monitor"):
             data = self.env.simulate(self.window_points, rng=self.rng)
+        # The measured stream is judged before anything model-driven:
+        # an SLO breach must surface even on cycles whose analyze step
+        # degrades (those are exactly the cycles where the measured
+        # trigger is the only one left).
+        breaches = self._evaluate_slo(data)
         # Quality gate: a poisoned window is quarantined before it can
         # corrupt the rebuild — the cycle degrades instead of learning.
         verdict = None
@@ -212,11 +258,14 @@ class AutonomicManager:
                 )
                 report.quarantined = True
                 report.window_verdict = verdict
+                report.slo_breaches = list(breaches)
                 return report
         # Analyze: rebuild the model (reconstruction, not update) + assess.
         incident = self._unlearnable(data)
         if incident is not None:
-            return self._degraded_report(cycle, incident)
+            report = self._degraded_report(cycle, incident)
+            report.slo_breaches = list(breaches)
+            return report
         try:
             with _span("manager.analyze"):
                 model = build_continuous_kertbn(self.env.workflow, data)
@@ -226,13 +275,18 @@ class AutonomicManager:
                     self.policy.threshold
                 )
         except (ReproError, FloatingPointError, ValueError) as exc:
-            return self._degraded_report(cycle, f"model rebuild failed: {exc}")
+            report = self._degraded_report(
+                cycle, f"model rebuild failed: {exc}"
+            )
+            report.slo_breaches = list(breaches)
+            return report
         report = CycleReport(
             cycle=cycle,
             violation_prob=p_violation,
             expected_response=expected,
             model=model,
             window_verdict=verdict,
+            slo_breaches=list(breaches),
         )
         if self._tripwire is not None:
             with _span("manager.publish"):
@@ -246,7 +300,12 @@ class AutonomicManager:
                     f"published v{outcome.version} rolled back: "
                     f"{outcome.detail}"
                 )
-        if p_violation > self.policy.max_violation_prob:
+        model_trigger = p_violation > self.policy.max_violation_prob
+        if model_trigger or breaches:
+            report.trigger = (
+                "model+slo" if model_trigger and breaches
+                else ("model" if model_trigger else "slo")
+            )
             with _span("manager.plan"):
                 target, chosen = self._plan_action(
                     model, assessor, data, report

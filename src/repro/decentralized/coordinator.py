@@ -211,7 +211,21 @@ class Coordinator:
         or whose fit overruns ``retry_policy.fit_timeout`` falls back to
         its last-known-good CPD and is reported ``stale`` (``failed`` if
         no earlier round ever produced one).
+
+        When observability is on, the whole round runs inside a
+        ``decentralized.round`` span — open *before* distribution, so
+        every channel transfer piggybacks the round's
+        :class:`~repro.obs.propagation.TraceContext` and a remote
+        agent's spans can reattach under this exact round.
         """
+        if not _OBS.enabled:
+            return self._learn_round(data)
+        with _OBS.tracer.span("decentralized.round") as round_span:
+            result = self._learn_round(data)
+            self._record_obs(result, round_span)
+        return result
+
+    def _learn_round(self, data: Dataset) -> DecentralizedResult:
         self.network.begin_round()
         self.distribute(data)
         cpds: dict[str, CPD] = {}
@@ -282,7 +296,7 @@ class Coordinator:
         self.state.close_round(
             [n for n, o in outcomes.items() if o.status == FRESH]
         )
-        result = DecentralizedResult(
+        return DecentralizedResult(
             cpds=cpds,
             per_agent_seconds=per_agent,
             network_summary=self.network.round_summary(),
@@ -291,11 +305,8 @@ class Coordinator:
             outcomes=outcomes,
             round_index=round_index,
         )
-        if _OBS.enabled:
-            self._record_obs(result)
-        return result
 
-    def _record_obs(self, result: DecentralizedResult) -> None:
+    def _record_obs(self, result: DecentralizedResult, round_span) -> None:
         """Publish one round's accounting to :mod:`repro.obs`.
 
         The round span carries the paper's Sec.-3.4 decentralized time —
@@ -322,25 +333,24 @@ class Coordinator:
         )
         fit_hist = m.histogram("decentralized.agent_fit_seconds")
         tracer = _OBS.tracer
-        with tracer.span("decentralized.round") as round_span:
-            round_span.annotate(round_index=result.round_index)
-            for name, fit_secs in result.per_agent_seconds.items():
-                outcome = result.outcomes.get(name)
-                status = outcome.status if outcome is not None else FRESH
-                if status == FRESH:
-                    fit_hist.observe(fit_secs)
-                tracer.record_span(
-                    f"agent:{name}",
-                    fit_secs + result.per_agent_wait_seconds.get(name, 0.0),
-                ).annotate(
-                    status=status,
-                    fit_seconds=fit_secs,
-                    wait_seconds=result.per_agent_wait_seconds.get(name, 0.0),
-                )
-            if self.response is not None:
-                tracer.record_span(
-                    "response-cpd", result.response_cpd_seconds
-                ).annotate(node=self.response)
-            # Accounted concurrency, not sequential wall clock: the round
-            # took as long as its slowest agent (Sec. 3.4).
-            round_span.override_duration(result.decentralized_seconds)
+        round_span.annotate(round_index=result.round_index)
+        for name, fit_secs in result.per_agent_seconds.items():
+            outcome = result.outcomes.get(name)
+            status = outcome.status if outcome is not None else FRESH
+            if status == FRESH:
+                fit_hist.observe(fit_secs)
+            tracer.record_span(
+                f"agent:{name}",
+                fit_secs + result.per_agent_wait_seconds.get(name, 0.0),
+            ).annotate(
+                status=status,
+                fit_seconds=fit_secs,
+                wait_seconds=result.per_agent_wait_seconds.get(name, 0.0),
+            )
+        if self.response is not None:
+            tracer.record_span(
+                "response-cpd", result.response_cpd_seconds
+            ).annotate(node=self.response)
+        # Accounted concurrency, not sequential wall clock: the round
+        # took as long as its slowest agent (Sec. 3.4).
+        round_span.override_duration(result.decentralized_seconds)

@@ -10,11 +10,21 @@ columns (the data-locality property), fits, and ships the CPD back.
 Worker payloads go through module-level functions (picklable); each
 worker draws only ``{X_i} ∪ Φ(X_i)`` columns, mirroring what a per-
 service monitoring agent would hold.
+
+Tracing crosses the process boundary: when :mod:`repro.obs` is enabled
+the parent opens a ``decentralized.round`` span (``mode="parallel"``),
+ships its :class:`~repro.obs.propagation.TraceContext` inside each
+worker payload, and every worker returns a finished ``agent:<node>``
+span as a wire dict alongside its CPD.  The parent adopts those spans
+back under the round span, so the merged tree is indistinguishable in
+shape from the Coordinator's analytic one — and the round span carries
+the Sec.-3.4 accounted time, the **max** over per-agent fits.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
+import time
 from typing import Iterable
 
 import numpy as np
@@ -27,11 +37,30 @@ from repro.obs.runtime import OBS as _OBS
 
 
 def _fit_one(args: tuple) -> tuple:
-    """Worker: fit one linear-Gaussian CPD from its local columns."""
-    variable, parents, columns = args
+    """Worker: fit one linear-Gaussian CPD from its local columns.
+
+    Returns ``(variable, cpd, fit_seconds, span_payload)`` where
+    ``span_payload`` is a :meth:`Span.to_wire`-shaped dict parented on
+    the coordinator-side context (or ``None`` when tracing was off at
+    dispatch time).
+    """
+    variable, parents, columns, ctx_wire = args
+    t0 = time.perf_counter()
     local = Dataset({k: np.asarray(v) for k, v in columns.items()})
     cpd = fit_linear_gaussian(local, variable, parents)
-    return variable, cpd
+    fit_seconds = time.perf_counter() - t0
+    payload = None
+    if ctx_wire is not None:
+        from repro.obs.propagation import remote_span_payload
+
+        payload = remote_span_payload(
+            f"agent:{variable}",
+            fit_seconds,
+            ctx_wire,
+            node=variable,
+            fit_seconds=fit_seconds,
+        )
+    return variable, cpd, fit_seconds, payload
 
 
 def parallel_parameter_learning(
@@ -56,15 +85,39 @@ def parallel_parameter_learning(
     unknown = [n for n in node_list if n not in dag]
     if unknown:
         raise LearningError(f"nodes not in structure: {unknown}")
+    if not _OBS.enabled:
+        return _learn(dag, data, node_list, processes, ctx_wire=None)
+    from repro.obs.propagation import current_context
+
+    with _OBS.tracer.span("decentralized.round") as round_span:
+        round_span.annotate(mode="parallel", n_nodes=len(node_list))
+        ctx = current_context()
+        fitted = _learn(
+            dag,
+            data,
+            node_list,
+            processes,
+            ctx_wire=ctx.to_wire() if ctx is not None else None,
+        )
+    return fitted
+
+
+def _learn(
+    dag: DAG,
+    data: Dataset,
+    node_list: list,
+    processes: "int | None",
+    ctx_wire: "dict | None",
+) -> dict:
     tasks = []
     for node in node_list:
         parents = tuple(map(str, dag.parents(node)))
         columns = {node: np.asarray(data[node], dtype=float)}
         for p in parents:
             columns[p] = np.asarray(data[p], dtype=float)
-        tasks.append((node, parents, columns))
+        tasks.append((node, parents, columns, ctx_wire))
     if len(tasks) == 1 or (processes is not None and processes <= 1):
-        fitted = dict(_fit_one(t) for t in tasks)
+        results = [_fit_one(t) for t in tasks]
     else:
         ctx = (
             mp.get_context("fork")
@@ -72,10 +125,27 @@ def parallel_parameter_learning(
             else mp.get_context()
         )
         with ctx.Pool(processes=processes) as pool:
-            fitted = dict(pool.map(_fit_one, tasks))
+            results = pool.map(_fit_one, tasks)
+    fitted = {variable: cpd for variable, cpd, _, _ in results}
     # Workers are separate processes, so their registries are invisible
-    # here; the coordinator side accounts completed fits as results land.
+    # here; the parent side accounts completed fits as results land and
+    # adopts the wire spans the workers shipped back.
     if _OBS.enabled:
-        _OBS.metrics.counter("decentralized.parallel.batches").inc()
-        _OBS.metrics.counter("decentralized.parallel.fits").inc(len(fitted))
+        m = _OBS.metrics
+        m.counter("decentralized.parallel.batches").inc()
+        m.counter("decentralized.parallel.fits").inc(len(fitted))
+        fit_hist = m.histogram("decentralized.parallel.fit_seconds")
+        tracer = _OBS.tracer
+        max_fit = 0.0
+        for _, _, fit_seconds, payload in results:
+            fit_hist.observe(fit_seconds)
+            max_fit = max(max_fit, fit_seconds)
+            if payload is not None:
+                tracer.adopt(payload)
+        round_span = tracer.current
+        if round_span is not None and round_span.name == "decentralized.round":
+            # Accounted concurrency (Sec. 3.4): the round costs as much
+            # as its slowest agent, not the sequential sum.
+            round_span.override_duration(max_fit)
+        m.gauge("decentralized.parallel.last_round_seconds").set(max_fit)
     return fitted

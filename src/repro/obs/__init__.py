@@ -15,6 +15,19 @@ themselves too):
   call sites guard on.  **Off by default**; the disabled cost on a hot
   path is a single attribute read.
 
+Built on those, the egress/consumption layer:
+
+- :mod:`repro.obs.export` — Prometheus text exposition (HTTP
+  ``/metrics`` via a stdlib daemon-thread server) and a rotating JSONL
+  event sink with per-category sampling;
+- :mod:`repro.obs.propagation` — ``TraceContext`` carried across
+  process boundaries so remote spans reattach to the local tree;
+- :mod:`repro.obs.slo` — windowed p95/p99 + error-rate objectives with
+  burn-rate alerting, feeding ``SLOBreach`` events to the autonomic
+  manager;
+- :mod:`repro.obs.dashboard` — terminal + self-contained HTML
+  rendering of snapshots (``repro dashboard``).
+
 Instrumentation is wired through the inference engine
 (query / batch / plan-cache), the junction tree (absorb / retract /
 recalibrate), the decentralized coordinator (per-agent fit times and
@@ -34,6 +47,12 @@ Quickstart
 >>> obs.reset(); obs.disable()
 """
 
+from repro.obs.export import (
+    ExportServer,
+    JsonlEventSink,
+    render,
+    render_prometheus,
+)
 from repro.obs.metrics import (
     DEFAULT_TIME_BUCKETS,
     Counter,
@@ -41,9 +60,13 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
 )
+from repro.obs.propagation import TraceContext, current_context
 from repro.obs.runtime import (
     OBS,
+    attach_sink,
+    detach_sink,
     disable,
+    emit_event,
     enable,
     is_enabled,
     iter_spans,
@@ -52,21 +75,40 @@ from repro.obs.runtime import (
     snapshot,
     span,
 )
+from repro.obs.slo import (
+    ErrorRateObjective,
+    LatencyObjective,
+    SLOBreach,
+    SLOMonitor,
+)
 from repro.obs.tracing import Span, Tracer
 
 __all__ = [
     "DEFAULT_TIME_BUCKETS",
     "Counter",
+    "ErrorRateObjective",
+    "ExportServer",
     "Gauge",
     "Histogram",
+    "JsonlEventSink",
+    "LatencyObjective",
     "MetricsRegistry",
     "OBS",
+    "SLOBreach",
+    "SLOMonitor",
     "Span",
+    "TraceContext",
     "Tracer",
+    "attach_sink",
+    "current_context",
+    "detach_sink",
     "disable",
+    "emit_event",
     "enable",
     "is_enabled",
     "iter_spans",
+    "render",
+    "render_prometheus",
     "render_text",
     "reset",
     "snapshot",

@@ -202,6 +202,11 @@ class Histogram:
                 "p95": self.percentile(95.0),
                 "p99": self.percentile(99.0),
                 "overflow": self._counts[-1],
+                # Raw bucket data (bounds + per-bucket counts, overflow
+                # last) so exporters can render exposition-format
+                # histograms without re-reading the live instrument.
+                "bucket_bounds": list(self.buckets),
+                "bucket_counts": list(self._counts),
             }
 
     def reset(self) -> None:
@@ -269,15 +274,21 @@ class MetricsRegistry:
             }
 
     def reset(self) -> None:
-        """Zero every instrument in place (cached handles stay valid)."""
+        """Zero every instrument in place (cached handles stay valid).
+
+        The whole sweep happens under the registry lock — the same lock
+        :meth:`snapshot` holds — so a snapshot taken concurrently with a
+        reset sees either every instrument's pre-reset value or every
+        instrument zeroed, never a mix (instrument locks alone cannot
+        give that cross-instrument atomicity).
+        """
         with self._lock:
-            instruments = (
+            for instrument in (
                 *self._counters.values(),
                 *self._gauges.values(),
                 *self._histograms.values(),
-            )
-        for instrument in instruments:
-            instrument.reset()
+            ):
+                instrument.reset()
 
     # -- exporters ------------------------------------------------------ #
 

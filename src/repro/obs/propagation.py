@@ -1,0 +1,98 @@
+"""Cross-process trace propagation.
+
+A span tree normally dies with its process: the coordinator's
+``decentralized.round`` span lives in the management server, while the
+per-service fits of :func:`repro.decentralized.parallel.
+parallel_parameter_learning` run in pool workers whose tracers are
+invisible to the parent.  The paper's Sec.-3.4 accounting (round time =
+max over concurrently running agents) only renders as *one* tree if the
+worker-side spans can reattach under the coordinator's round span.
+
+The mechanism is the usual distributed-tracing one, minimized:
+
+- :class:`TraceContext` — the (trace id, open span id) pair captured on
+  the sending side with :func:`current_context`;
+- the context rides the payload (a pickled worker argument, an extra
+  field on a :class:`~repro.decentralized.messaging.Message` — the
+  paper's "extra SOAP segment");
+- the receiving side builds finished spans whose ``parent_span_id`` is
+  the context's span id and ships them back as
+  :meth:`~repro.obs.tracing.Span.to_wire` dicts;
+- :meth:`~repro.obs.tracing.Tracer.adopt` grafts them under the span
+  that was open when the context was captured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.obs.runtime import OBS
+
+__all__ = ["TraceContext", "current_context", "remote_span_payload"]
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The minimal baggage a trace needs to cross a process boundary."""
+
+    trace_id: str
+    span_id: str
+
+    def to_wire(self) -> dict:
+        return {"trace_id": self.trace_id, "span_id": self.span_id}
+
+    @classmethod
+    def from_wire(cls, payload: "dict | None") -> "Optional[TraceContext]":
+        if not payload:
+            return None
+        try:
+            return cls(
+                trace_id=str(payload["trace_id"]),
+                span_id=str(payload["span_id"]),
+            )
+        except (KeyError, TypeError):
+            return None
+
+
+def current_context() -> Optional[TraceContext]:
+    """The context of the currently open span, or ``None`` when
+    observability is off / no span is open."""
+    if not OBS.enabled:
+        return None
+    current = OBS.tracer.current
+    if current is None:
+        return None
+    return TraceContext(trace_id=current.trace_id, span_id=current.span_id)
+
+
+def remote_span_payload(
+    name: str,
+    seconds: float,
+    context: "TraceContext | dict | None",
+    status: str = "ok",
+    **extra: object,
+) -> dict:
+    """Build a finished-span wire dict on the *remote* side of a hop.
+
+    Workers that only time one operation (a CPD fit) need no tracer of
+    their own — this helper produces the :meth:`Span.to_wire`-shaped
+    payload directly, parented on the propagated context when one was
+    carried across.
+    """
+    from repro.obs.tracing import _next_id
+
+    if isinstance(context, dict):
+        context = TraceContext.from_wire(context)
+    out: dict = {
+        "name": str(name),
+        "span_id": _next_id(),
+        "duration_seconds": float(seconds),
+        "status": str(status),
+    }
+    if context is not None:
+        out["trace_id"] = context.trace_id
+        out["parent_span_id"] = context.span_id
+    if extra:
+        out["extra"] = dict(extra)
+    return out

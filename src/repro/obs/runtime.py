@@ -33,19 +33,25 @@ __all__ = [
     "snapshot",
     "span",
     "render_text",
+    "attach_sink",
+    "detach_sink",
+    "emit_event",
 ]
 
 
 class ObsState:
-    """Singleton bundle: enable flag + registry + tracer + clock."""
+    """Singleton bundle: enable flag + registry + tracer + clock + sink."""
 
-    __slots__ = ("enabled", "clock", "metrics", "tracer")
+    __slots__ = ("enabled", "clock", "metrics", "tracer", "sink")
 
     def __init__(self, clock: Callable[[], float] = time.perf_counter):
         self.enabled = False
         self.clock = clock
         self.metrics = MetricsRegistry()
         self.tracer = Tracer(clock=clock)
+        #: Optional :class:`repro.obs.export.JsonlEventSink` — attach
+        #: via :func:`attach_sink`, never written directly by hot paths.
+        self.sink = None
 
     def configure(self, clock: Optional[Callable[[], float]] = None) -> None:
         """Swap the clock (tests); metric values are preserved."""
@@ -96,6 +102,32 @@ def snapshot() -> dict:
 def render_text() -> str:
     """Text export: the metric listing followed by the span tree."""
     return OBS.metrics.render_text() + "\n\n" + OBS.tracer.render_text()
+
+
+def attach_sink(sink) -> None:
+    """Stream structured events to a :class:`repro.obs.export.
+    JsonlEventSink`: every finished root span tree is emitted under the
+    ``trace`` category, and subsystems (SLO monitor, manager) emit their
+    own categories via :func:`emit_event`."""
+    OBS.sink = sink
+    OBS.tracer.on_close = lambda sp: sink.emit("trace", sp.to_wire())
+
+
+def detach_sink() -> None:
+    """Stop streaming (the sink itself is left open for the caller)."""
+    OBS.sink = None
+    OBS.tracer.on_close = None
+
+
+def emit_event(category: str, payload: dict) -> bool:
+    """Best-effort structured-event emission to the attached sink."""
+    sink = OBS.sink
+    if sink is None:
+        return False
+    try:
+        return sink.emit(category, payload)
+    except Exception:
+        return False  # egress must never take down the instrumented path
 
 
 class _NullSpan:

@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.bn.data import Dataset
 from repro.exceptions import SimulationError
+from repro.obs.runtime import OBS as _OBS
 from repro.simulator.engine import TransactionRecord
 from repro.utils.rng import ensure_rng
 
@@ -66,11 +67,13 @@ class MonitoringAgent:
     def observe(self, records: Sequence[TransactionRecord], rng=None) -> None:
         """Ingest the monitoring-point readings for this agent's services."""
         rng = ensure_rng(rng)
+        dropped = 0
         for r in records:
             for s in self.services:
                 if s not in r.elapsed:
                     continue
                 if self.reporting_loss and rng.random() < self.reporting_loss:
+                    dropped += 1
                     continue
                 value = r.elapsed[s]
                 if self.measurement_noise:
@@ -79,10 +82,15 @@ class MonitoringAgent:
                 self._buffer.append(
                     Measurement(r.request_id, s, float(value), r.completion)
                 )
+        if _OBS.enabled and dropped:
+            _OBS.metrics.counter("monitoring.reporting_losses").inc(dropped)
 
     def report(self) -> list[Measurement]:
         """Flush the batch (one report per ``t_data`` in wall terms)."""
         out, self._buffer = self._buffer, []
+        if _OBS.enabled:
+            _OBS.metrics.counter("monitoring.reports").inc()
+            _OBS.metrics.counter("monitoring.measurements").inc(len(out))
         return out
 
     @property
@@ -135,6 +143,9 @@ class ManagementServer:
             kept += 1
         if kept == 0:
             raise SimulationError("no complete transactions to assemble")
+        if _OBS.enabled:
+            _OBS.metrics.counter("monitoring.assembled_rows").inc(kept)
+            _OBS.metrics.counter("monitoring.dropped_rows").inc(len(ids) - kept)
         data = {s: np.asarray(v) for s, v in cols.items()}
         data[self.response] = np.asarray(resp)
         return Dataset(data)

@@ -111,3 +111,116 @@ def test_cli_trace_out_writes_snapshot(obs_active, tmp_path, capsys):
     assert payload["enabled"] is True
     span_names = {sp["name"] for sp in payload["trace"]}
     assert "cli.obs" in span_names
+
+
+def test_multiprocessing_round_with_live_exporter(obs_active, ediamond_env,
+                                                  ediamond_data):
+    """PR 5 acceptance, part 1: a decentralized learn round through the
+    *multiprocessing* path with the exporter live.  The merged trace
+    tree must show worker-side fit spans under ``decentralized.round``
+    (one trace id), and ``/metrics`` must serve valid Prometheus text
+    containing the round's instruments.
+    """
+    import urllib.request
+
+    from repro.decentralized.parallel import parallel_parameter_learning
+    from repro.obs.export import ExportServer
+
+    train, _ = ediamond_data
+    dag = ediamond_env.knowledge_structure()
+    service_nodes = [n for n in dag.nodes if n != "D"]
+    service_dag = dag.subgraph(service_nodes)
+
+    with ExportServer() as srv:
+        fitted = parallel_parameter_learning(
+            service_dag, train, processes=2
+        )
+        with urllib.request.urlopen(srv.url + "/metrics", timeout=5.0) as r:
+            assert r.status == 200
+            assert r.headers.get("Content-Type").startswith("text/plain")
+            scrape = r.read().decode()
+
+    assert set(fitted) == set(map(str, service_nodes))
+
+    # Worker fit spans reattached under the coordinator-side round span.
+    round_span = obs.OBS.tracer.find("decentralized.round")
+    assert round_span is not None
+    agent_spans = [
+        c for c in round_span.children if c.name.startswith("agent:")
+    ]
+    assert {sp.name for sp in agent_spans} == {
+        f"agent:{n}" for n in fitted
+    }
+    assert all(sp.trace_id == round_span.trace_id for sp in agent_spans)
+    assert round_span.duration == max(sp.duration for sp in agent_spans)
+
+    # The scrape is parseable exposition text with the round's counters.
+    from tests.obs.test_obs_export import parse_prometheus
+
+    samples = parse_prometheus(scrape)
+    assert samples["repro_decentralized_parallel_fits_total"] == len(fitted)
+    inf_key = 'repro_decentralized_parallel_fit_seconds_bucket{le="+Inf"}'
+    assert samples[inf_key] == samples[
+        "repro_decentralized_parallel_fit_seconds_count"
+    ] == len(fitted)
+
+
+def test_degraded_service_trips_slo_into_action(obs_active, tmp_path):
+    """PR 5 acceptance, part 2: synthetically degrade a service until the
+    *measured* stream breaches its SLO; the manager must act within one
+    cycle on the SLO trigger even though the model's predicted violation
+    probability stays inside policy.  The dashboard renders the
+    aftermath (breach visible) from the live endpoint.
+    """
+    from repro.core.manager import (
+        AutonomicManager,
+        SLAPolicy,
+        inject_degradation,
+    )
+    from repro.obs.dashboard import load_snapshot, render_html
+    from repro.obs.export import ExportServer
+    from repro.obs.slo import LatencyObjective, SLOMonitor
+    from repro.simulator.scenarios.ediamond import ediamond_scenario
+
+    env = ediamond_scenario()
+    # Park the model trigger (sky-high SLA threshold -> predicted
+    # violation probability ~0) so the action is attributable to the
+    # measured-SLO path alone.  Baseline eDiaMoND p95 sits near 3.5s;
+    # an 8s objective stays green until the degradation lands.
+    policy = SLAPolicy(threshold=1e6, max_violation_prob=0.99)
+    monitor = SLOMonitor(
+        [
+            LatencyObjective(
+                name="response_p95",
+                histogram="manager.window.response_seconds",
+                threshold_seconds=8.0,
+            )
+        ],
+        window=3,
+        min_points=30,
+    )
+    manager = AutonomicManager(
+        env, policy, window_points=120, rng=0, slo_monitor=monitor
+    )
+
+    healthy = manager.run_cycle()
+    assert healthy.slo_breaches == []
+    assert not healthy.acted
+
+    inject_degradation(env, "X5", 25.0)  # the measured stream now overruns
+    with ExportServer(slo_monitor=monitor) as srv:
+        degraded = manager.run_cycle()
+        snap = load_snapshot(srv.url)
+
+    assert degraded.slo_breaches, "degradation must trip the SLO monitor"
+    assert degraded.trigger == "slo"
+    assert degraded.acted, "the SLO breach must drive plan/execute in-cycle"
+    assert degraded.violation_prob <= policy.max_violation_prob
+
+    # The endpoint's snapshot carries SLO status; the dashboard shows it.
+    assert snap["slo"]["objectives"], "exporter must attach SLO status"
+    breached = [o for o in snap["slo"]["objectives"] if o["breached"]]
+    assert breached
+    html = render_html(snap)
+    (tmp_path / "report.html").write_text(html)
+    assert "BREACHED" in html

@@ -1,0 +1,200 @@
+"""Dashboard rendering: terminal summary, HTML report, snapshot sources."""
+
+import json
+
+import pytest
+
+from repro.obs.dashboard import load_snapshot, render_html, render_terminal
+
+SNAP = {
+    "enabled": True,
+    "metrics": {
+        "counters": {"serving.queries": 42, "slo.breaches": 1},
+        "gauges": {"manager.last_violation_prob": 0.25},
+        "histograms": {
+            "inference.query_seconds": {
+                "count": 6, "sum": 3.0, "mean": 0.5, "min": 0.001,
+                "max": 2.5, "p50": 0.01, "p95": 1.2, "p99": 2.0,
+                "overflow": 1,
+                "bucket_bounds": [0.01, 1.0], "bucket_counts": [3, 2, 1],
+            },
+            "empty.hist": {
+                "count": 0, "sum": 0.0, "mean": None, "min": None,
+                "max": None, "p50": None, "p95": None, "p99": None,
+                "overflow": 0, "bucket_bounds": [1.0], "bucket_counts": [0, 0],
+            },
+        },
+    },
+    "trace": [
+        {
+            "name": "manager.cycle",
+            "duration_seconds": 0.125,
+            "status": "ok",
+            "children": [
+                {"name": "manager.monitor", "duration_seconds": 0.025,
+                 "status": "ok"},
+                {"name": "manager.analyze", "duration_seconds": 0.1,
+                 "status": "error"},
+            ],
+        }
+    ],
+    "slo": {
+        "evaluations": 4,
+        "window": 5,
+        "burn_rate_threshold": 1.0,
+        "objectives": [
+            {"objective": "response_p95", "kind": "latency", "observed": 2.4,
+             "threshold": 2.0, "burn_rate": 1.2, "breached": True,
+             "window_intervals": 4},
+            {"objective": "violation_rate", "kind": "error_rate",
+             "observed": 0.01, "threshold": 0.2, "burn_rate": 0.05,
+             "breached": False, "window_intervals": 4},
+        ],
+    },
+}
+
+
+def test_terminal_summary_covers_every_section():
+    text = render_terminal(SNAP)
+    assert "obs enabled: True" in text
+    assert "serving.queries" in text and "42" in text
+    assert "manager.last_violation_prob" in text
+    assert "inference.query_seconds" in text and "p95=1.2" in text
+    assert "empty.hist  count=0" in text
+    # SLO block states breach vs ok per objective
+    assert "response_p95" in text and "BREACHED" in text
+    assert "violation_rate" in text
+    # span tree with nesting and error marker
+    assert "manager.cycle" in text
+    assert "manager.analyze" in text and "[!error]" in text
+
+
+def test_terminal_summary_of_an_empty_snapshot():
+    text = render_terminal({"enabled": False, "metrics": {}, "trace": []})
+    assert "(no spans recorded)" in text
+
+
+def test_html_report_is_self_contained_and_escaped():
+    evil = {
+        "enabled": True,
+        "metrics": {"counters": {"<script>alert(1)</script>": 1},
+                    "gauges": {}, "histograms": {}},
+        "trace": [],
+    }
+    html = render_html(evil, title="<b>title</b>")
+    assert html.startswith("<!doctype html>")
+    assert "<script>alert(1)</script>" not in html
+    assert "&lt;script&gt;" in html
+    assert "<b>title</b>" not in html
+    # single file, no external fetches
+    assert "http" not in html.split("</style>")[1]
+    assert "<link" not in html and "src=" not in html
+
+
+def test_html_report_renders_the_full_snapshot():
+    html = render_html(SNAP)
+    assert "repro observability report" in html
+    assert "serving.queries" in html
+    assert "response_p95" in html and "BREACHED" in html
+    assert "inference.query_seconds" in html
+    assert "manager.cycle" in html
+    # the p95 bar scales against the largest histogram p95
+    assert 'class=bar style="width:120px"' in html
+
+
+def test_load_snapshot_from_file_and_live_state(tmp_path, obs_active):
+    path = tmp_path / "snap.json"
+    path.write_text(json.dumps(SNAP))
+    assert load_snapshot(str(path)) == SNAP
+
+    from repro.obs.runtime import OBS
+
+    OBS.metrics.counter("live.counter").inc(7)
+    live = load_snapshot(None)
+    assert live["metrics"]["counters"]["live.counter"] == 7
+
+
+def test_load_snapshot_from_export_url(obs_active):
+    from repro.obs.export import ExportServer
+    from repro.obs.runtime import OBS
+
+    OBS.metrics.counter("served.counter").inc(3)
+    with ExportServer() as srv:
+        # both the bare endpoint and the explicit /snapshot path work
+        snap = load_snapshot(srv.url)
+        snap2 = load_snapshot(srv.url + "/snapshot")
+    assert snap["metrics"]["counters"]["served.counter"] == 3
+    assert snap2["metrics"]["counters"]["served.counter"] == 3
+
+
+# --------------------------------------------------------------------- #
+# CLI surface
+# --------------------------------------------------------------------- #
+
+
+def test_cli_dashboard_renders_snapshot_file(tmp_path, capsys):
+    from repro.cli import main
+
+    path = tmp_path / "snap.json"
+    path.write_text(json.dumps(SNAP))
+    assert main(["dashboard", "--snapshot", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "repro observability dashboard" in out
+    assert "serving.queries" in out
+
+
+def test_cli_dashboard_writes_html(tmp_path, capsys):
+    from repro.cli import main
+
+    snap_path = tmp_path / "snap.json"
+    snap_path.write_text(json.dumps(SNAP))
+    html_path = tmp_path / "report.html"
+    code = main(
+        ["dashboard", "--snapshot", str(snap_path), "--html", str(html_path)]
+    )
+    assert code == 0
+    html = html_path.read_text()
+    assert html.startswith("<!doctype html>")
+    assert "response_p95" in html
+    # without --print the terminal summary stays off stdout
+    assert "repro observability dashboard" not in capsys.readouterr().out
+
+
+def test_cli_obs_snapshot_format_prom(obs_active, capsys):
+    from repro.cli import main
+    from repro.obs.runtime import OBS
+
+    OBS.metrics.counter("serving.queries").inc(9)
+    assert main(["obs", "snapshot", "--format", "prom"]) == 0
+    out = capsys.readouterr().out
+    assert "# TYPE repro_serving_queries_total counter" in out
+    assert "repro_serving_queries_total 9" in out
+
+
+def test_cli_obs_snapshot_format_json_matches_json_flag(obs_active, capsys):
+    from repro.cli import main
+
+    assert main(["obs", "snapshot", "--format", "json"]) == 0
+    via_format = json.loads(capsys.readouterr().out)
+    assert main(["obs", "snapshot", "--json"]) == 0
+    via_flag = json.loads(capsys.readouterr().out)
+    assert via_format["enabled"] == via_flag["enabled"] is True
+    assert via_format["metrics"].keys() == via_flag["metrics"].keys()
+
+
+def test_cli_serve_metrics_flag_serves_during_command(tmp_path, capsys):
+    """--serve-metrics enables obs and exposes /metrics for the run; the
+    dashboard subcommand itself is the long-running command here."""
+    from repro.cli import main
+    from repro.obs import runtime
+
+    was_enabled = runtime.OBS.enabled
+    try:
+        code = main(["--serve-metrics", "0", "obs", "snapshot", "--format",
+                     "prom"])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "serving metrics at http://127.0.0.1:" in err
+    finally:
+        runtime.OBS.enabled = was_enabled
+        runtime.reset()

@@ -163,3 +163,59 @@ def test_registry_snapshot_and_exporters():
 
 def test_registry_empty_render():
     assert MetricsRegistry().render_text() == "(no metrics recorded)"
+
+
+def test_registry_snapshot_is_atomic_against_reset():
+    """A snapshot racing a reset must see all-or-nothing, never a mix.
+
+    Both operations hold the registry lock for their whole sweep, so a
+    concurrent snapshot observes either every counter at its pre-reset
+    value or every counter zeroed.  To make the race window wide enough
+    to catch a regression (per-instrument locking would interleave),
+    every Counter.reset is slowed by a tiny sleep.
+    """
+    import threading
+    import time as _time
+
+    from repro.obs import metrics as metrics_mod
+
+    reg = MetricsRegistry()
+    n_counters, value = 12, 7
+    for i in range(n_counters):
+        reg.counter(f"c{i}").inc(value)
+
+    original_reset = metrics_mod.Counter.reset
+
+    def slow_reset(self):
+        original_reset(self)
+        _time.sleep(0.002)  # widen the sweep so a mixed view would show
+
+    snapshots, stop = [], threading.Event()
+
+    def snapshotter():
+        while not stop.is_set():
+            snapshots.append(reg.snapshot()["counters"])
+
+    # Only the reset mutates during the snapshot storm, so every
+    # snapshot must be uniform: all counters at `value`, or all at 0.
+    thread = threading.Thread(target=snapshotter)
+    metrics_mod.Counter.reset = slow_reset
+    try:
+        thread.start()
+        _time.sleep(0.005)  # let some pre-reset snapshots accumulate
+        reg.reset()
+    finally:
+        stop.set()
+        thread.join()
+        metrics_mod.Counter.reset = original_reset
+
+    assert snapshots, "snapshotter thread never ran"
+    mixed = [
+        snap for snap in snapshots
+        if len(set(snap.values())) > 1
+    ]
+    assert not mixed, (
+        f"{len(mixed)} snapshot(s) saw a half-reset registry, e.g. "
+        f"{mixed[0]}"
+    )
+    assert snapshots[-1] == {f"c{i}": 0 for i in range(n_counters)}

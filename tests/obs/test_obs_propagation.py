@@ -1,0 +1,185 @@
+"""Trace context across process/message boundaries.
+
+The contract: a context captured inside an open span, shipped through a
+worker payload or a :class:`~repro.decentralized.messaging.Message`,
+lets the remote side build finished spans that
+:meth:`~repro.obs.tracing.Tracer.adopt` grafts back under the exact
+span that was open at capture time — one merged tree, one trace id.
+"""
+
+import numpy as np
+import pytest
+
+from repro.obs.propagation import (
+    TraceContext,
+    current_context,
+    remote_span_payload,
+)
+from repro.obs.runtime import OBS
+
+
+# --------------------------------------------------------------------- #
+# TraceContext
+# --------------------------------------------------------------------- #
+
+
+def test_context_wire_round_trip():
+    ctx = TraceContext(trace_id="t-1", span_id="s-9")
+    assert TraceContext.from_wire(ctx.to_wire()) == ctx
+
+
+@pytest.mark.parametrize("bad", [None, {}, {"trace_id": "t"}, {"span_id": "s"}])
+def test_from_wire_tolerates_malformed_payloads(bad):
+    assert TraceContext.from_wire(bad) is None
+
+
+def test_current_context_is_none_when_disabled_or_idle(obs_active):
+    assert current_context() is None  # enabled, but no span open
+    OBS.enabled = False
+    with OBS.tracer.span("ignored"):
+        assert current_context() is None  # span open, but disabled
+
+
+def test_current_context_matches_the_open_span(obs_active):
+    with OBS.tracer.span("outer") as outer:
+        ctx = current_context()
+        assert ctx == TraceContext(
+            trace_id=outer.trace_id, span_id=outer.span_id
+        )
+        with OBS.tracer.span("inner") as inner:
+            assert current_context().span_id == inner.span_id
+            assert current_context().trace_id == outer.trace_id
+
+
+# --------------------------------------------------------------------- #
+# Remote payloads + adoption
+# --------------------------------------------------------------------- #
+
+
+def test_remote_span_payload_shape():
+    ctx = TraceContext(trace_id="t-1", span_id="s-1")
+    payload = remote_span_payload("agent:X1", 0.25, ctx, node="X1")
+    assert payload["name"] == "agent:X1"
+    assert payload["duration_seconds"] == 0.25
+    assert payload["trace_id"] == "t-1"
+    assert payload["parent_span_id"] == "s-1"
+    assert payload["extra"] == {"node": "X1"}
+    # accepts the wire-dict form too (what actually crosses the pickle)
+    assert remote_span_payload("a", 0.1, ctx.to_wire())["trace_id"] == "t-1"
+    # and no context at all (tracing off at dispatch time)
+    bare = remote_span_payload("a", 0.1, None)
+    assert "parent_span_id" not in bare and "trace_id" not in bare
+
+
+def test_adopt_grafts_under_the_context_span(obs_active):
+    with OBS.tracer.span("decentralized.round") as round_span:
+        ctx = current_context()
+    payload = remote_span_payload("agent:X1", 0.5, ctx)
+    adopted = OBS.tracer.adopt(payload)
+    assert adopted.parent is round_span
+    assert adopted in round_span.children
+    assert adopted.trace_id == round_span.trace_id
+    assert adopted.duration == 0.5
+
+
+def test_adopt_without_resolvable_parent_falls_back_to_current(obs_active):
+    payload = remote_span_payload(
+        "agent:X1", 0.5, TraceContext("gone", "gone")
+    )
+    with OBS.tracer.span("other") as other:
+        adopted = OBS.tracer.adopt(payload)
+        assert adopted.parent is other
+    orphan = OBS.tracer.adopt(
+        remote_span_payload("agent:X2", 0.1, TraceContext("gone", "gone"))
+    )
+    assert orphan.parent is None
+    assert orphan in OBS.tracer.roots
+
+
+def test_adopt_preserves_remote_subtrees_and_ids(obs_active):
+    with OBS.tracer.span("parent"):
+        ctx = current_context()
+    payload = remote_span_payload("remote", 1.0, ctx)
+    payload["children"] = [
+        {"name": "child", "span_id": "r-2", "duration_seconds": 0.25,
+         "status": "error", "error": "ValueError: boom"},
+    ]
+    adopted = OBS.tracer.adopt(payload)
+    child = adopted.children[0]
+    assert child.span_id == "r-2"
+    assert child.status == "error"
+    assert child.error == "ValueError: boom"
+    assert child.trace_id == adopted.trace_id
+
+
+# --------------------------------------------------------------------- #
+# Messaging piggyback (the paper's "extra SOAP segment")
+# --------------------------------------------------------------------- #
+
+
+def test_network_transmit_piggybacks_open_span_context(obs_active):
+    from repro.decentralized.messaging import Network
+
+    net = Network()
+    with OBS.tracer.span("decentralized.round") as round_span:
+        delivered = net.transmit("X1", "X2", "X1", np.ones(4))
+    assert len(delivered) == 1
+    ctx = TraceContext.from_wire(delivered[0].trace)
+    assert ctx is not None
+    assert ctx.span_id == round_span.span_id
+    assert ctx.trace_id == round_span.trace_id
+
+
+def test_network_transmit_carries_no_trace_when_disabled():
+    from repro.decentralized.messaging import Network
+
+    assert not OBS.enabled
+    delivered = Network().transmit("X1", "X2", "X1", np.ones(4))
+    assert delivered[0].trace is None
+
+
+def test_transmit_outside_any_span_carries_no_trace(obs_active):
+    from repro.decentralized.messaging import Network
+
+    delivered = Network().transmit("X1", "X2", "X1", np.ones(4))
+    assert delivered[0].trace is None
+
+
+# --------------------------------------------------------------------- #
+# Multiprocessing learn path: one merged tree
+# --------------------------------------------------------------------- #
+
+
+def _toy_problem():
+    from repro.bn.dag import DAG
+    from repro.bn.data import Dataset
+
+    rng = np.random.default_rng(0)
+    x1 = rng.normal(1.0, 0.1, size=200)
+    x2 = 2.0 * x1 + rng.normal(0.0, 0.05, size=200)
+    d = x1 + x2 + rng.normal(0.0, 0.05, size=200)
+    dag = DAG(("X1", "X2", "D"), (("X1", "X2"), ("X1", "D"), ("X2", "D")))
+    return dag, Dataset({"X1": x1, "X2": x2, "D": d})
+
+
+def test_parallel_learning_merges_agent_spans_under_round(obs_active):
+    from repro.decentralized.parallel import parallel_parameter_learning
+
+    dag, data = _toy_problem()
+    fitted = parallel_parameter_learning(dag, data, processes=2)
+    assert set(fitted) == {"X1", "X2", "D"}
+
+    round_span = OBS.tracer.find("decentralized.round")
+    assert round_span is not None
+    agents = {c.name: c for c in round_span.children}
+    assert set(agents) == {"agent:X1", "agent:X2", "agent:D"}
+    # every agent span is on the round's trace, with a real fit time
+    for sp in agents.values():
+        assert sp.trace_id == round_span.trace_id
+        assert sp.duration > 0
+    # Sec.-3.4 accounting: the round costs its slowest agent
+    assert round_span.duration == pytest.approx(
+        max(sp.duration for sp in agents.values())
+    )
+    hist = OBS.metrics.histogram("decentralized.parallel.fit_seconds")
+    assert hist.count == 3

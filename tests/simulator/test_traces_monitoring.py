@@ -178,3 +178,40 @@ def test_management_server_validation(rng):
     bad[0] = type(bad[0])(0, "zzz", 1.0, 1.0)
     with pytest.raises(SimulationError):
         server.collect(bad)
+
+
+def test_monitoring_pipeline_feeds_obs_metrics(rng):
+    """With obs enabled the agents/server account their traffic: reports,
+    measurements, loss drops, and assembled rows all hit the registry."""
+    from repro import obs
+    from repro.obs import runtime
+
+    was_enabled = runtime.OBS.enabled
+    obs.enable()
+    obs.reset()
+    try:
+        agent = MonitoringAgent(
+            host="h", services=("a", "b"), reporting_loss=0.5
+        )
+        recs = records(100)
+        agent.observe(recs, rng=rng)
+        server = ManagementServer(services=("a", "b"))
+        server.collect(agent.report())
+        server.collect_responses(recs)
+        server.assemble()
+
+        counters = obs.snapshot()["metrics"]["counters"]
+        assert counters["monitoring.reports"] == 1
+        assert counters["monitoring.measurements"] > 0
+        assert counters["monitoring.reporting_losses"] > 0
+        # every measurement either reported or dropped, nothing lost
+        assert (
+            counters["monitoring.measurements"]
+            + counters["monitoring.reporting_losses"]
+            == 2 * len(recs)
+        )
+        assert counters["monitoring.assembled_rows"] == len(recs)
+        assert counters["monitoring.dropped_rows"] == 0
+    finally:
+        obs.reset()
+        runtime.OBS.enabled = was_enabled

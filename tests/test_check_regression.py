@@ -100,3 +100,46 @@ def test_gate_accepts_the_committed_baseline():
     payload = json.loads(committed.read_text())
     failures, _ = gate.compare(payload, payload, absolute=True)
     assert failures == []
+
+
+OBS_BASELINE = {
+    "overhead": {"enabled_over_disabled_ratio": 1.05},
+    "scrape": {"p95_seconds": 0.0005},
+}
+
+
+def test_obs_suite_gates_on_a_ceiling():
+    """Overhead metrics are lower-is-better: growth fails, shrink passes."""
+    worse = copy.deepcopy(OBS_BASELINE)
+    worse["overhead"]["enabled_over_disabled_ratio"] *= 2.0
+    failures, _ = gate.compare(OBS_BASELINE, worse, suite="obs")
+    assert len(failures) == 1
+    assert "enabled_over_disabled_ratio" in failures[0]
+
+    better = copy.deepcopy(OBS_BASELINE)
+    better["overhead"]["enabled_over_disabled_ratio"] *= 0.5
+    failures, _ = gate.compare(OBS_BASELINE, better, suite="obs")
+    assert failures == []
+
+
+def test_obs_suite_scrape_latency_needs_absolute_flag():
+    slow = copy.deepcopy(OBS_BASELINE)
+    slow["scrape"]["p95_seconds"] *= 10.0
+    failures, _ = gate.compare(OBS_BASELINE, slow, suite="obs")
+    assert failures == []  # machine-dependent, not gated by default
+    failures, _ = gate.compare(OBS_BASELINE, slow, suite="obs", absolute=True)
+    assert len(failures) == 1
+    assert "p95_seconds" in failures[0]
+
+
+def test_unknown_suite_rejected():
+    with pytest.raises(SystemExit, match="unknown suite"):
+        gate.compare(OBS_BASELINE, OBS_BASELINE, suite="nope")
+
+
+def test_gate_accepts_the_committed_obs_baseline():
+    """The real BENCH_obs.json must satisfy the obs suite's schema."""
+    committed = _GATE.parent.parent / "BENCH_obs.json"
+    payload = json.loads(committed.read_text())
+    failures, _ = gate.compare(payload, payload, suite="obs", absolute=True)
+    assert failures == []

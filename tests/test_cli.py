@@ -34,6 +34,25 @@ def test_simulate_and_inspect(workspace, capsys):
     assert "X2 -> X3" in out
 
 
+def test_simulate_via_agents_routes_the_monitoring_pipeline(
+    workspace, capsys
+):
+    from repro.bn.csvio import dataset_from_csv
+
+    data_path = os.path.join(workspace, "agents.csv")
+    assert run(
+        "simulate", "--scenario", "ediamond", "--via-agents",
+        "--reporting-loss", "0.4", "--points", "80", "--seed", "3",
+        "--out", data_path,
+    ) == 0
+    assert "wrote 80 points" in capsys.readouterr().out
+    data = dataset_from_csv(data_path)
+    # reporting loss on the agent path shows up as NaNs in service columns
+    services = np.column_stack([data[c] for c in data.columns if c != "D"])
+    assert np.isnan(services).any()
+    assert not np.isnan(data["D"]).any()  # responses are client-side
+
+
 def test_full_kert_pipeline(workspace, capsys):
     data_path = os.path.join(workspace, "train.csv")
     test_path = os.path.join(workspace, "test.csv")
