@@ -55,6 +55,22 @@ ABSOLUTE_METRICS: Tuple[Tuple[str, str, str], ...] = (
     ("batched", "batched_qps", "batched rows/sec"),
 )
 
+#: Inference metrics gated only when the *baseline* already carries them,
+#: so older payloads (and minimal test fixtures) stay valid.  Sections
+#: may be dotted paths (``matrix.bins3_width6``).
+OPTIONAL_RATIO_METRICS: Tuple[Tuple[str, str, str], ...] = (
+    (
+        "jtree",
+        "incremental_speedup_vs_full",
+        "incremental recalibration vs full sweep",
+    ),
+    (
+        "batched.float32",
+        "speedup_vs_float64",
+        "float32 batch vs float64 batch",
+    ),
+)
+
 #: Per-suite guarded metrics.  ``lower`` entries are higher-is-better
 #: (gate on a floor); ``upper`` entries are lower-is-better (gate on a
 #: ceiling).  ``*_absolute`` entries only apply with ``--absolute``.
@@ -84,13 +100,26 @@ SUITES = {
 
 def extract(payload: dict, section: str, key: str) -> float:
     try:
-        value = payload[section][key]
+        node = payload
+        for part in section.split("."):
+            node = node[part]
+        value = node[key]
     except (KeyError, TypeError):
         raise SystemExit(
             f"benchmark payload is missing {section}.{key} — "
             "was the benchmark run with an incompatible schema?"
         )
     return float(value)
+
+
+def _has(payload: dict, section: str, key: str) -> bool:
+    node = payload
+    try:
+        for part in section.split("."):
+            node = node[part]
+        return key in node
+    except (KeyError, TypeError):
+        return False
 
 
 def compare(
@@ -115,6 +144,31 @@ def compare(
     spec = SUITES[suite]
     lower = spec["lower"] + (spec["lower_absolute"] if absolute else ())
     upper = spec["upper"] + (spec["upper_absolute"] if absolute else ())
+    if suite == "inference":
+        # Optional sections ride along once the baseline carries them.
+        for section, key, label in OPTIONAL_RATIO_METRICS:
+            if _has(baseline, section, key):
+                lower += ((section, key, label),)
+        # The perf matrix gates every cell the baseline records, so the
+        # speedup floor is not overfit to the canned eDiaMoND net.
+        cells = baseline.get("matrix")
+        if isinstance(cells, dict):
+            for cell in sorted(cells):
+                lower += (
+                    (
+                        f"matrix.{cell}",
+                        "batched_speedup_vs_loop",
+                        f"matrix[{cell}] batched vs loop",
+                    ),
+                )
+                if absolute:
+                    lower += (
+                        (
+                            f"matrix.{cell}",
+                            "batched_qps",
+                            f"matrix[{cell}] rows/sec",
+                        ),
+                    )
     failures: List[str] = []
     report: List[str] = []
     for checks, is_floor in ((lower, True), (upper, False)):

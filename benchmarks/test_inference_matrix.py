@@ -1,0 +1,99 @@
+"""Perf matrix: batched inference across network shapes.
+
+The eDiaMoND cell alone would overfit the speedup gate to one 6-node
+topology.  This matrix sweeps seeded random networks over (n_bins ×
+width) — small and medium in both axes — measuring per-cell batched
+rows/sec and the batched-vs-row-loop speedup, spot-checking each cell
+against scratch variable elimination to 1e-9.  Cells merge under the
+``"matrix"`` key of ``BENCH_inference.json``; ``check_regression.py``
+floors every cell the committed baseline records.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from test_inference_throughput import _merge_payload, _qps
+
+from repro.bn.inference.variable_elimination import query as ve_query
+from repro.bn.random_nets import random_discrete_network
+
+#: (cell name, n_bins, width) — small/medium in both axes.
+CELLS = (
+    ("bins3_width6", 3, 6),
+    ("bins3_width14", 3, 14),
+    ("bins6_width6", 6, 6),
+    ("bins6_width14", 6, 14),
+)
+
+N_ROWS = 2_000
+N_REPS = 20
+N_LOOP_ROWS = 200  # row-loop comparator sample (scaled to full-batch qps)
+
+
+@pytest.mark.parametrize("cell,n_bins,width", CELLS)
+def test_inference_matrix_cell(cell, n_bins, width):
+    rng = np.random.default_rng(width * 100 + n_bins)
+    net = random_discrete_network(rng, width=width, n_bins=n_bins)
+    engine = net.compiled()
+    nodes = [str(n) for n in net.nodes]
+    cards = net.cardinalities
+    target, ev_vars = nodes[-1], nodes[:3]
+    columns = {
+        v: rng.integers(0, cards[v], size=N_ROWS).astype(np.intp)
+        for v in ev_vars
+    }
+
+    engine.query_batch([target], columns)  # warm the plan
+    t0 = time.perf_counter()
+    for _ in range(N_REPS):
+        batched = engine.query_batch([target], columns)
+    batch_s = (time.perf_counter() - t0) / N_REPS
+
+    engine.query([target], {v: int(columns[v][0]) for v in ev_vars})
+    t0 = time.perf_counter()
+    for i in range(N_LOOP_ROWS):
+        row = {v: int(columns[v][i]) for v in ev_vars}
+        engine.query([target], row)
+    loop_s = (time.perf_counter() - t0) * (N_ROWS / N_LOOP_ROWS)
+
+    dev = 0.0
+    for i in range(0, N_ROWS, 397):  # spot-check vs scratch VE
+        row = {v: int(columns[v][i]) for v in ev_vars}
+        ref = ve_query(net, [target], row).values
+        dev = max(dev, float(np.max(np.abs(batched[i] - ref))))
+    assert dev <= 1e-9, f"{cell}: deviation {dev:.2e} vs scratch VE"
+
+    speedup = loop_s / batch_s
+    assert speedup >= 5.0, f"{cell}: batched only {speedup:.1f}x vs loop"
+    _merge_payload(
+        {
+            "matrix": {
+                **_existing_matrix(),
+                cell: {
+                    "n_bins": n_bins,
+                    "width": width,
+                    "n_rows": N_ROWS,
+                    "batched_qps": _qps(batch_s, N_ROWS),
+                    "per_row_loop_qps": _qps(loop_s, N_ROWS),
+                    "batched_speedup_vs_loop": speedup,
+                    "max_abs_deviation_vs_scratch": dev,
+                },
+            }
+        }
+    )
+
+
+def _existing_matrix() -> dict:
+    """Previously recorded cells, so per-cell merges accumulate."""
+    import json
+    import os
+
+    path = os.path.join(os.path.dirname(__file__), "..", "BENCH_inference.json")
+    if not os.path.exists(path):
+        return {}
+    with open(path) as fh:
+        payload = json.load(fh)
+    cells = payload.get("matrix")
+    return dict(cells) if isinstance(cells, dict) else {}

@@ -1,0 +1,350 @@
+"""Pairwise tensor-contraction planning for the compiled engine.
+
+``np.einsum`` with a single subscripts string hands the contraction
+order to NumPy's generic path optimizer on every plan compile, caps the
+network at 52 variables (one label per variable), and re-derives the
+path from the operand shapes.  The compiled engine instead plans its
+contractions *here*, once per query signature, with everything known
+statically: factor scopes, cardinalities, and the output scope.
+
+The planner emits an explicit pairwise **schedule**: a sequence of
+two-operand ``einsum`` steps, each with its subscripts prebuilt from a
+*local* label alphabet (only the union of the two operand scopes needs
+labels, so the 52-variable network cap disappears — only per-step
+contraction width is bounded).  A variable is summed out at the last
+step in which it appears, unless it belongs to the output scope.
+
+Two search strategies, à la ``opt_einsum`` but stdlib+numpy only:
+
+- ``"greedy"`` — repeatedly contract the pair whose step cost (size of
+  the joint index space of the pair) is smallest, tie-broken on result
+  size then operand order, so schedules are deterministic;
+- ``"optimal"`` — exact dynamic programming over contraction trees
+  (memoized over leaf subsets), affordable for small factor counts;
+- ``"auto"`` — optimal up to :data:`OPTIMAL_MAX_FACTORS` factors,
+  greedy beyond.
+
+Schedules are pure data (:class:`Schedule`), safe to cache inside query
+plans and replay against fresh operand arrays — including operands that
+carry a leading batch axis: the batch axis is planned as an ordinary
+variable, so the schedule automatically keeps it alive through to the
+output.
+"""
+
+from __future__ import annotations
+
+import itertools
+import string
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.exceptions import InferenceError
+
+#: ``"auto"`` switches from exact DP to greedy above this many factors.
+OPTIMAL_MAX_FACTORS = 7
+
+#: Hard bound on distinct variables inside one pairwise step (the local
+#: einsum alphabet).  Exceeding it means the contraction width is far
+#: past anything the dense tables could hold anyway.
+_MAX_STEP_VARS = len(string.ascii_letters)
+
+
+@dataclass(frozen=True)
+class Step:
+    """One pairwise contraction: ``work[i], work[j] -> append result``."""
+
+    i: int
+    j: int
+    subscripts: str
+    scope: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """A replayable contraction schedule for fixed scopes/output."""
+
+    scopes: tuple[tuple[str, ...], ...]   # input operand scopes, in order
+    output: tuple[str, ...]               # requested output scope order
+    steps: tuple[Step, ...]               # pairwise contractions
+    final_subscripts: "str | None"        # unary fixup (sum/reorder) or None
+    cost: float                           # summed per-step index-space sizes
+    max_intermediate: int                 # largest intermediate table size
+
+
+def _result_scope(
+    union: "tuple[str, ...]",
+    live_counts: Mapping[str, int],
+    consumed: Mapping[str, int],
+    keep: frozenset,
+) -> tuple[str, ...]:
+    """Scope surviving a contraction: output vars plus vars still used
+    by operands outside the contracted pair."""
+    return tuple(
+        v for v in union if v in keep or live_counts[v] - consumed[v] > 0
+    )
+
+
+def _pair_subscripts(
+    a: Sequence[str], b: Sequence[str], out: Sequence[str]
+) -> str:
+    labels: dict[str, str] = {}
+    for v in itertools.chain(a, b):
+        if v not in labels:
+            if len(labels) >= _MAX_STEP_VARS:
+                raise InferenceError(
+                    "contraction step exceeds the einsum label alphabet "
+                    f"({_MAX_STEP_VARS} distinct variables)"
+                )
+            labels[v] = string.ascii_letters[len(labels)]
+    lhs_a = "".join(labels[v] for v in a)
+    lhs_b = "".join(labels[v] for v in b)
+    rhs = "".join(labels[v] for v in out)
+    return f"{lhs_a},{lhs_b}->{rhs}"
+
+
+def _size(scope: Sequence[str], cards: Mapping[str, int]) -> int:
+    size = 1
+    for v in scope:
+        size *= cards[v]
+    return size
+
+
+# --------------------------------------------------------------------- #
+# Greedy search
+# --------------------------------------------------------------------- #
+
+
+def _greedy_order(
+    scopes: "list[tuple[str, ...]]",
+    cards: Mapping[str, int],
+    keep: frozenset,
+) -> "list[tuple[int, int, tuple[str, ...]]]":
+    """Pairs to contract, as ``(i, j, result_scope)`` over a working list
+    that appends each result (opt_einsum's greedy, sized by step cost)."""
+    work: dict[int, tuple[str, ...]] = dict(enumerate(scopes))
+    live_counts: dict[str, int] = {}
+    for scope in scopes:
+        for v in scope:
+            live_counts[v] = live_counts.get(v, 0) + 1
+    order: list[tuple[int, int, tuple[str, ...]]] = []
+    next_id = len(scopes)
+    while len(work) > 1:
+        best = None
+        for i, j in itertools.combinations(sorted(work), 2):
+            si, sj = work[i], work[j]
+            union = si + tuple(v for v in sj if v not in si)
+            consumed = {v: 0 for v in union}
+            for v in si:
+                consumed[v] += 1
+            for v in sj:
+                consumed[v] += 1
+            scope = _result_scope(union, live_counts, consumed, keep)
+            step_cost = _size(union, cards)
+            key = (step_cost, _size(scope, cards), i, j)
+            if best is None or key < best[0]:
+                best = (key, i, j, scope)
+        _, i, j, scope = best
+        for v in set(work[i]) | set(work[j]):
+            live_counts[v] -= 1
+        for v in set(work[i]) & set(work[j]):
+            live_counts[v] -= 1
+        for v in set(scope):
+            live_counts[v] += 1
+        del work[i], work[j]
+        work[next_id] = scope
+        order.append((i, j, scope))
+        next_id += 1
+    return order
+
+
+# --------------------------------------------------------------------- #
+# Optimal (exact DP over contraction trees)
+# --------------------------------------------------------------------- #
+
+
+def _optimal_order(
+    scopes: "list[tuple[str, ...]]",
+    cards: Mapping[str, int],
+    keep: frozenset,
+) -> "list[tuple[int, int, tuple[str, ...]]]":
+    """Exact best contraction tree by memoized search over leaf subsets."""
+    n = len(scopes)
+    var_leaves: dict[str, frozenset] = {}
+    for idx, scope in enumerate(scopes):
+        for v in scope:
+            var_leaves.setdefault(v, frozenset())
+            var_leaves[v] = var_leaves[v] | {idx}
+    all_leaves = frozenset(range(n))
+
+    def subset_scope(leaves: frozenset) -> tuple[str, ...]:
+        # Deterministic order: first appearance across member scopes.
+        seen: list[str] = []
+        for idx in sorted(leaves):
+            for v in scopes[idx]:
+                if v not in seen and (
+                    v in keep or var_leaves[v] - leaves
+                ):
+                    seen.append(v)
+        return tuple(seen)
+
+    memo: dict[frozenset, tuple[float, tuple[str, ...], tuple]] = {}
+
+    def best(leaves: frozenset):
+        cached = memo.get(leaves)
+        if cached is not None:
+            return cached
+        if len(leaves) == 1:
+            (idx,) = leaves
+            result = (0.0, scopes[idx], idx)
+            memo[leaves] = result
+            return result
+        members = sorted(leaves)
+        best_entry = None
+        for r in range(1, len(members)):
+            for combo in itertools.combinations(members[1:], r):
+                # The anchor always stays left, so each unordered
+                # partition is enumerated exactly once.
+                left = leaves - frozenset(combo)
+                right = frozenset(combo)
+                cost_l, scope_l, tree_l = best(left)
+                cost_r, scope_r, tree_r = best(right)
+                union = scope_l + tuple(
+                    v for v in scope_r if v not in scope_l
+                )
+                step_cost = float(_size(union, cards))
+                total = cost_l + cost_r + step_cost
+                if best_entry is None or total < best_entry[0]:
+                    scope = subset_scope(leaves)
+                    best_entry = (total, scope, (tree_l, tree_r))
+        memo[leaves] = best_entry
+        return best_entry
+
+    _, _, tree = best(all_leaves)
+
+    order: list[tuple[int, int, tuple[str, ...]]] = []
+    next_id = [n]
+    leaves_of: dict[int, frozenset] = {}
+
+    def emit(node) -> int:
+        if isinstance(node, int):
+            leaves_of[node] = frozenset([node])
+            return node
+        left, right = node
+        i = emit(left)
+        j = emit(right)
+        leaves = leaves_of[i] | leaves_of[j]
+        scope = subset_scope(leaves)
+        node_id = next_id[0]
+        next_id[0] += 1
+        leaves_of[node_id] = leaves
+        order.append((min(i, j), max(i, j), scope))
+        return node_id
+
+    emit(tree)
+    return order
+
+
+# --------------------------------------------------------------------- #
+# Public API
+# --------------------------------------------------------------------- #
+
+
+def plan_contraction(
+    scopes: Sequence[Sequence[str]],
+    cards: Mapping[str, int],
+    output: Sequence[str],
+    optimize: str = "auto",
+) -> Schedule:
+    """Plan the contraction of ``scopes`` down to ``output``.
+
+    Every variable not in ``output`` is summed out; ``output`` order is
+    honored exactly in the final array.  The returned schedule is pure
+    data and can be replayed any number of times via
+    :func:`execute_schedule`.
+    """
+    scopes = tuple(tuple(s) for s in scopes)
+    output = tuple(output)
+    if not scopes:
+        raise InferenceError("cannot plan a contraction of zero factors")
+    known = set(itertools.chain.from_iterable(scopes))
+    missing = [v for v in output if v not in known]
+    if missing:
+        raise InferenceError(f"output variables not in any scope: {missing}")
+    keep = frozenset(output)
+    if optimize == "auto":
+        optimize = (
+            "optimal" if len(scopes) <= OPTIMAL_MAX_FACTORS else "greedy"
+        )
+    if optimize == "optimal":
+        order = _optimal_order(list(scopes), cards, keep)
+    elif optimize == "greedy":
+        order = _greedy_order(list(scopes), cards, keep)
+    else:
+        raise InferenceError(f"unknown optimize mode {optimize!r}")
+
+    scope_of: dict[int, tuple[str, ...]] = dict(enumerate(scopes))
+    steps: list[Step] = []
+    cost = 0.0
+    max_intermediate = 0
+    next_id = len(scopes)
+    for i, j, scope in order:
+        union = scope_of[i] + tuple(
+            v for v in scope_of[j] if v not in scope_of[i]
+        )
+        steps.append(
+            Step(
+                i=i,
+                j=j,
+                subscripts=_pair_subscripts(scope_of[i], scope_of[j], scope),
+                scope=scope,
+            )
+        )
+        cost += float(_size(union, cards))
+        max_intermediate = max(max_intermediate, _size(scope, cards))
+        scope_of[next_id] = scope
+        next_id += 1
+    last_scope = scope_of[next_id - 1] if steps else scopes[0]
+    final = None
+    if last_scope != output:
+        # Sum leftover non-output vars (single-factor inputs) and put the
+        # axes in the requested order.
+        final = _pair_subscripts(last_scope, (), output).replace(",", "")
+        max_intermediate = max(max_intermediate, _size(output, cards))
+    return Schedule(
+        scopes=scopes,
+        output=output,
+        steps=tuple(steps),
+        final_subscripts=final,
+        cost=cost,
+        max_intermediate=max_intermediate,
+    )
+
+
+def execute_schedule(
+    schedule: Schedule,
+    arrays: Sequence[np.ndarray],
+) -> np.ndarray:
+    """Replay ``schedule`` against operand ``arrays`` (same scope order).
+
+    Array dtypes are preserved (float32 operands contract in float32),
+    which is what the engine's optional single-precision batch path
+    relies on.
+    """
+    if len(arrays) != len(schedule.scopes):
+        raise InferenceError(
+            f"schedule expects {len(schedule.scopes)} operands, "
+            f"got {len(arrays)}"
+        )
+    work: list["np.ndarray | None"] = list(arrays)
+    for step in schedule.steps:
+        a = work[step.i]
+        b = work[step.j]
+        work[step.i] = work[step.j] = None
+        work.append(np.einsum(step.subscripts, a, b))
+    out = work[-1]
+    assert out is not None
+    if schedule.final_subscripts is not None:
+        out = np.einsum(schedule.final_subscripts, out)
+    return out

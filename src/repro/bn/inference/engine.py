@@ -13,44 +13,77 @@ on the evidence *values*:
 
 - CPD factors are extracted once at compile time (``DeterministicCPD``
   table expansion is the single most expensive step of a scratch query);
-- for every ``(query-variables, evidence-variables)`` signature a
-  :class:`_QueryPlan` is memoized, holding the min-fill elimination
-  order, the factor tables pre-transposed so evidence axes lead, and the
-  ``np.einsum`` subscripts plus a cached contraction path;
-- the actual numerics run through one ``np.einsum`` call per query, so
-  repeated queries cost an advanced-indexing slice and a contraction —
-  no Python factor algebra;
-- :meth:`query_batch` answers N evidence rows in a single vectorized
-  pass by advanced-indexing the evidence axes with index *columns*
-  (adding one batch dimension) instead of reducing factors per row;
+- for every ``(query-variables, evidence-pattern)`` signature a
+  :class:`_QueryPlan` is built once and kept in a bounded LRU cache:
+  evidence **values** are array inputs at execution time, never part of
+  the plan key, so repeated query *shapes* skip all validation and
+  dispatch;
+- each plan contracts the CPD factors down to the **joint table**
+  ``P(evidence-vars, query-vars)`` with a pairwise contraction schedule
+  chosen by greedy/DP search over factor sizes
+  (:mod:`repro.bn.inference.contraction` — in-repo, stdlib+numpy, no
+  52-variable einsum cap).  The table is evidence-value independent, so
+  a single query is a stride computation plus one gather, and
+  :meth:`query_batch` answers N rows with one vectorized ``take`` —
+  no per-row Python and no per-row contraction;
+- signatures whose joint table would exceed ``max_joint_entries`` fall
+  back to replaying the (cached) contraction schedule against
+  evidence-sliced operands — still one vectorized pass per batch;
+- :meth:`query_batch` accepts columnar integer evidence directly and
+  never copies columns that already are 1-D integer arrays; an optional
+  ``dtype=np.float32`` runs the batch in single precision (documented
+  deviation bound :data:`FLOAT32_MAX_DEVIATION`);
 - evidence-free marginals (the dComp/pAccel priors) are cached per
   variable by :meth:`prior`.
 
 The engine treats the network as immutable — compile a new engine if
 CPDs are refit (network construction already builds fresh objects
-everywhere in this codebase).
-
-Networks whose variable count exceeds the einsum label alphabet fall
-back to a plan-cached elimination sweep over
-:class:`~repro.bn.factors.DiscreteFactor` operations: still compile-once
-(factors + orders memoized), just not single-kernel.
+everywhere in this codebase).  Plan-cache bookkeeping relies on the GIL
+for atomicity of individual dict operations; concurrent callers may at
+worst compile the same plan twice.
 """
 
 from __future__ import annotations
 
-import string
+from collections import OrderedDict
 from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 
 from repro.bn.factors import DiscreteFactor
+from repro.bn.inference.contraction import (
+    Schedule,
+    execute_schedule,
+    plan_contraction,
+)
 from repro.exceptions import InferenceError
 from repro.obs.runtime import OBS as _OBS
 
-#: einsum subscripts offer 52 single-letter labels; one is reserved for
-#: the batch axis of :meth:`CompiledDiscreteModel.query_batch`.
-_MAX_EINSUM_VARS = len(string.ascii_letters) - 1
-_BATCH_LABEL = string.ascii_letters[-1]
+#: Default LRU bound on cached query plans.  Adversarial query mixes
+#: (every request a fresh signature) otherwise grow the cache without
+#: limit; 256 covers every signature the serving layer emits today with
+#: two orders of magnitude to spare.
+DEFAULT_PLAN_CACHE_SIZE = 256
+
+#: Default ceiling on precomputed joint-table sizes (entries, not
+#: bytes): 2**20 float64 entries is 8 MiB per plan.  Signatures above
+#: the ceiling use the evidence-sliced contraction path instead.
+DEFAULT_MAX_JOINT_ENTRIES = 1 << 20
+
+#: Documented bound on ``query_batch(..., dtype=np.float32)`` deviation
+#: from the float64 path for normalized posteriors.  Gathering from a
+#: float32 joint table rounds each entry once (2**-24 relative) and the
+#: normalization adds a few ulps; benchmarks and tests assert it.
+FLOAT32_MAX_DEVIATION = 5e-6
+
+#: Synthetic variable name for the batch axis in sliced-path schedules.
+#: NUL is not a legal network variable name, so it can never collide.
+_BATCH_VAR = "\x00batch"
+
+#: Nominal batch length used for planning sliced batch schedules (the
+#: schedule is shared across batch sizes; relative step costs are what
+#: matters, not the exact N).
+_NOMINAL_BATCH = 1024
 
 
 class _QueryPlan:
@@ -59,43 +92,71 @@ class _QueryPlan:
     __slots__ = (
         "variables",
         "evidence_vars",
-        "elimination_order",
-        "operands",
-        "subscripts_single",
-        "subscripts_batch",
-        "path_single",
-        "path_batch",
+        "ev_cards",
+        "ev_strides",
         "out_shape",
+        "out_size",
+        "joint",              # (n_ev_states, out_size) float64 or None
+        "joint_f32",          # lazily cast float32 twin of ``joint``
+        "operands",           # list[(values, ev_vars, free_vars)]
+        "operands_f32",       # lazily cast float32 operand tables
+        "schedule_single",    # sliced-path schedule (joint too big)
+        "schedule_batch",
+        "elimination_order",  # memoized min-fill order for the sweep
     )
 
-    def __init__(self, variables, evidence_vars, elimination_order, operands, subscripts_single, subscripts_batch, out_shape):
-        self.variables = variables                  # query scope, in request order
-        self.evidence_vars = evidence_vars          # tuple, fixed order for row columns
-        self.elimination_order = elimination_order  # memoized min-fill order
-        self.operands = operands                    # list[(values, ev_vars, free_vars)]
-        self.subscripts_single = subscripts_single
-        self.subscripts_batch = subscripts_batch
-        self.path_single = None                     # cached einsum contraction paths
-        self.path_batch = None
+    def __init__(self, variables, evidence_vars, ev_cards, out_shape):
+        self.variables = variables
+        self.evidence_vars = evidence_vars
+        self.ev_cards = ev_cards
+        strides = []
+        acc = 1
+        for c in reversed(ev_cards):
+            strides.append(acc)
+            acc *= c
+        self.ev_strides = tuple(reversed(strides))
         self.out_shape = out_shape
+        self.out_size = int(np.prod(out_shape)) if out_shape else 1
+        self.joint = None
+        self.joint_f32 = None
+        self.operands = None
+        self.operands_f32 = None
+        self.schedule_single = None
+        self.schedule_batch = None
+        self.elimination_order = None
 
 
 class CompiledDiscreteModel:
     """A :class:`DiscreteBayesianNetwork` compiled for repeated queries."""
 
-    def __init__(self, network):
+    def __init__(
+        self,
+        network,
+        *,
+        plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE,
+        max_joint_entries: int = DEFAULT_MAX_JOINT_ENTRIES,
+    ):
         from repro.bn.inference.variable_elimination import _network_factors
 
+        if plan_cache_size < 1:
+            raise InferenceError("plan_cache_size must be >= 1")
+        if max_joint_entries < 1:
+            raise InferenceError("max_joint_entries must be >= 1")
         self._nodes: tuple[str, ...] = tuple(map(str, network.nodes))
         self._cards: dict[str, int] = dict(network.cardinalities)
         self._factors: tuple[DiscreteFactor, ...] = tuple(_network_factors(network))
-        self._plans: dict[tuple, _QueryPlan] = {}
+        self._scopes: tuple[tuple[str, ...], ...] = tuple(
+            f.variables for f in self._factors
+        )
+        self._plans: "OrderedDict[tuple, _QueryPlan]" = OrderedDict()
+        self._plan_cache_size = int(plan_cache_size)
+        self._max_joint_entries = int(max_joint_entries)
         self._priors: dict[str, DiscreteFactor] = {}
-        self._use_einsum = len(self._nodes) <= _MAX_EINSUM_VARS
-        if self._use_einsum:
-            self._labels = dict(zip(self._nodes, string.ascii_letters))
-        else:  # pragma: no cover - exercised only by very large networks
-            self._labels = {}
+        self._hits = 0
+        self._compiles = 0
+        self._evictions = 0
+        self._joint_tables = 0
+        self._joint_entries = 0
         #: Failure-signalling hook for the serving layer: when set, it is
         #: invoked as ``hook(kind, variables, evidence)`` at the top of
         #: every evidence query (``kind`` is ``"query"`` or ``"batch"``).
@@ -120,11 +181,27 @@ class CompiledDiscreteModel:
     def n_cached_plans(self) -> int:
         return len(self._plans)
 
+    @property
+    def plan_cache_capacity(self) -> int:
+        return self._plan_cache_size
+
     def cardinality(self, variable: str) -> int:
         try:
             return self._cards[str(variable)]
         except KeyError:
             raise InferenceError(f"unknown variable {variable!r}") from None
+
+    def cache_stats(self) -> dict:
+        """Plan-cache tiers at a glance (for serving status surfaces)."""
+        return {
+            "plans": len(self._plans),
+            "capacity": self._plan_cache_size,
+            "hits": self._hits,
+            "compiles": self._compiles,
+            "evictions": self._evictions,
+            "joint_tables": self._joint_tables,
+            "joint_entries": self._joint_entries,
+        }
 
     # ------------------------------------------------------------------ #
     # Plan compilation
@@ -142,23 +219,75 @@ class CompiledDiscreteModel:
         if len(set(variables)) != len(variables):
             raise InferenceError(f"duplicate query variables: {list(variables)}")
 
-    def _plan(self, variables: tuple[str, ...], evidence_vars: frozenset[str]) -> _QueryPlan:
-        key = (variables, evidence_vars)
+    def _lookup(self, key: tuple) -> "_QueryPlan | None":
         plan = self._plans.get(key)
         if plan is not None:
+            self._plans.move_to_end(key)
+            self._hits += 1
             if _OBS.enabled:
                 _OBS.metrics.counter("engine.plan.cache_hits").inc()
-            return plan
+        return plan
+
+    def _compile(self, key: tuple, variables: tuple, evidence_vars) -> _QueryPlan:
+        """Build, cache (with LRU eviction), and return a plan."""
+        self._validate(variables, evidence_vars)
+        self._compiles += 1
         if _OBS.enabled:
             _OBS.metrics.counter("engine.plan.compiles").inc()
 
         ev_order = tuple(sorted(evidence_vars))
-        eliminate = set(self._nodes) - set(variables) - evidence_vars
-        order = _min_fill_order(self._factors, eliminate, evidence_vars)
+        plan = _QueryPlan(
+            variables=variables,
+            evidence_vars=ev_order,
+            ev_cards=tuple(self._cards[v] for v in ev_order),
+            out_shape=tuple(self._cards[v] for v in variables),
+        )
+        output = ev_order + variables
+        n_ev_states = 1
+        for c in plan.ev_cards:
+            n_ev_states *= c
+        joint_entries = n_ev_states * plan.out_size
+        schedule: "Schedule | None" = None
+        try:
+            schedule = plan_contraction(self._scopes, self._cards, output)
+        except InferenceError:  # pragma: no cover - pathological widths
+            schedule = None
+        if (
+            schedule is not None
+            and joint_entries <= self._max_joint_entries
+            and schedule.max_intermediate
+            <= max(4 * self._max_joint_entries, joint_entries)
+        ):
+            joint = execute_schedule(schedule, [f.values for f in self._factors])
+            plan.joint = np.ascontiguousarray(
+                joint.reshape(n_ev_states, plan.out_size)
+            )
+            self._joint_tables += 1
+            self._joint_entries += joint_entries
+            if _OBS.enabled:
+                _OBS.metrics.counter("engine.plan.joint_tables").inc()
+        else:
+            self._build_sliced(plan)
+            if _OBS.enabled:
+                _OBS.metrics.counter("engine.plan.sliced").inc()
 
-        operands: list[tuple[np.ndarray, tuple[str, ...], tuple[str, ...]]] = []
-        subs_single: list[str] = []
-        subs_batch: list[str] = []
+        self._plans[key] = plan
+        while len(self._plans) > self._plan_cache_size:
+            evicted_key, evicted = self._plans.popitem(last=False)
+            if evicted.joint is not None:
+                self._joint_tables -= 1
+                self._joint_entries -= evicted.joint.size
+            self._evictions += 1
+            if _OBS.enabled:
+                _OBS.metrics.counter("engine.plan.evictions").inc()
+        return plan
+
+    def _build_operands(self, plan: _QueryPlan) -> None:
+        """Evidence-axes-first factor tables (sweep + sliced paths)."""
+        if plan.operands is not None:
+            return
+        evidence_vars = set(plan.evidence_vars)
+        operands = []
         for f in self._factors:
             ev_axes = [i for i, v in enumerate(f.variables) if v in evidence_vars]
             free_axes = [i for i, v in enumerate(f.variables) if v not in evidence_vars]
@@ -168,24 +297,34 @@ class CompiledDiscreteModel:
             # row columns) lands the batch axis in front of the free axes.
             values = np.ascontiguousarray(np.transpose(f.values, ev_axes + free_axes))
             operands.append((values, ev_vars, free_vars))
-            if self._use_einsum:
-                free_labels = "".join(self._labels[v] for v in free_vars)
-                subs_single.append(free_labels)
-                subs_batch.append((_BATCH_LABEL if ev_vars else "") + free_labels)
-        out_labels = "".join(self._labels[v] for v in variables) if self._use_einsum else ""
-        subscripts_single = ",".join(subs_single) + "->" + out_labels
-        subscripts_batch = ",".join(subs_batch) + "->" + _BATCH_LABEL + out_labels
-        plan = _QueryPlan(
-            variables=variables,
-            evidence_vars=ev_order,
-            elimination_order=order,
-            operands=operands,
-            subscripts_single=subscripts_single if self._use_einsum else None,
-            subscripts_batch=subscripts_batch if self._use_einsum else None,
-            out_shape=tuple(self._cards[v] for v in variables),
+        plan.operands = operands
+        eliminate = (
+            set(self._nodes) - set(plan.variables) - set(plan.evidence_vars)
         )
-        self._plans[key] = plan
-        return plan
+        plan.elimination_order = _min_fill_order(
+            self._factors, eliminate, frozenset(plan.evidence_vars)
+        )
+
+    def _build_sliced(self, plan: _QueryPlan) -> None:
+        """Schedules that replay against evidence-sliced operands."""
+        self._build_operands(plan)
+        cards = dict(self._cards)
+        cards[_BATCH_VAR] = _NOMINAL_BATCH
+        single_scopes = [free for _, _, free in plan.operands]
+        batch_scopes = [
+            ((_BATCH_VAR,) + free if ev else free)
+            for _, ev, free in plan.operands
+        ]
+        try:
+            plan.schedule_single = plan_contraction(
+                single_scopes, cards, plan.variables
+            )
+            plan.schedule_batch = plan_contraction(
+                batch_scopes, cards, (_BATCH_VAR,) + plan.variables
+            )
+        except InferenceError:  # pragma: no cover - pathological widths
+            plan.schedule_single = None
+            plan.schedule_batch = None
 
     # ------------------------------------------------------------------ #
     # Queries
@@ -203,31 +342,36 @@ class CompiledDiscreteModel:
         order, normalized); only the cost differs.
         """
         _t0 = _OBS.clock() if _OBS.enabled else None
-        variables = tuple(str(v) for v in variables)
-        evidence = {str(k): int(v) for k, v in (evidence or {}).items()}
-        self._validate(variables, evidence)
-        for v, s in evidence.items():
-            if not 0 <= s < self._cards[v]:
+        variables = tuple(map(str, variables))
+        evidence = (
+            {str(k): int(v) for k, v in evidence.items()} if evidence else {}
+        )
+        key = (variables, frozenset(evidence))
+        plan = self._lookup(key)
+        if plan is None:
+            plan = self._compile(key, variables, frozenset(evidence))
+        flat = 0
+        for v, card, stride in zip(
+            plan.evidence_vars, plan.ev_cards, plan.ev_strides
+        ):
+            s = evidence[v]
+            if not 0 <= s < card:
                 raise InferenceError(
-                    f"state {s} out of range for {v!r} (card {self._cards[v]})"
+                    f"state {s} out of range for {v!r} (card {card})"
                 )
+            flat += s * stride
         if self.failure_hook is not None:
             self.failure_hook("query", variables, evidence)
-        plan = self._plan(variables, frozenset(evidence))
-        if not self._use_einsum:  # pragma: no cover - large-network fallback
-            values = self._eliminate(plan, evidence)
-        else:
+        if plan.joint is not None:
+            values = plan.joint[flat].reshape(plan.out_shape)
+        elif plan.schedule_single is not None:
             arrays = [
                 values[tuple(evidence[v] for v in ev_vars)] if ev_vars else values
                 for values, ev_vars, _ in plan.operands
             ]
-            if plan.path_single is None:
-                plan.path_single = np.einsum_path(
-                    plan.subscripts_single, *arrays, optimize="greedy"
-                )[0]
-            values = np.einsum(
-                plan.subscripts_single, *arrays, optimize=plan.path_single
-            )
+            values = execute_schedule(plan.schedule_single, arrays)
+        else:  # pragma: no cover - pathological contraction widths
+            values = self._eliminate(plan, evidence)
         total = float(values.sum())
         if total <= 0:
             raise InferenceError("evidence has zero probability under the model")
@@ -242,91 +386,164 @@ class CompiledDiscreteModel:
         self,
         variables: Iterable[str],
         evidence_rows: "Mapping[str, Sequence[int]] | Sequence[Mapping[str, int]]",
+        dtype: "np.dtype | type | None" = None,
     ) -> np.ndarray:
         """Answer N evidence rows in one vectorized pass.
 
         ``evidence_rows`` is either a mapping ``{variable: column of N
         state indices}`` or a sequence of N ``{variable: state}`` rows
         (all rows must observe the same variable set — that *is* the
-        compiled signature).  Returns an ``(N, card(V1), ...)`` array
-        whose row ``i`` is the normalized posterior
+        compiled signature).  Columnar 1-D integer arrays are used
+        as-is, zero-copy.  Returns an ``(N, card(V1), ...)`` array whose
+        row ``i`` is the normalized posterior
         ``P(variables | evidence_rows[i])``, identical (up to float
         error) to calling :meth:`query` row by row.
+
+        ``dtype=np.float32`` runs the gather/normalization in single
+        precision: roughly half the memory traffic, with posterior
+        deviation from the float64 path bounded by
+        :data:`FLOAT32_MAX_DEVIATION` (asserted by the benchmark suite).
         """
         _t0 = _OBS.clock() if _OBS.enabled else None
-        variables = tuple(str(v) for v in variables)
+        if dtype is None:
+            use_f32 = False
+        else:
+            dtype = np.dtype(dtype)
+            if dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
+                raise InferenceError(
+                    f"query_batch dtype must be float32 or float64, got {dtype}"
+                )
+            use_f32 = dtype == np.dtype(np.float32)
+        variables = tuple(map(str, variables))
         columns = _evidence_columns(evidence_rows)
-        self._validate(variables, columns)
+        key = (variables, frozenset(columns))
+        plan = self._lookup(key)
+        if plan is None:
+            plan = self._compile(key, variables, frozenset(columns))
         if not columns:
             raise InferenceError("query_batch needs at least one evidence variable")
-        n_rows = {v: col.size for v, col in columns.items()}
-        n = next(iter(n_rows.values()))
-        if any(size != n for size in n_rows.values()):
-            raise InferenceError(f"evidence columns have mismatched lengths {n_rows}")
+        n = -1
+        for v, col in columns.items():
+            if n == -1:
+                n = col.size
+            elif col.size != n:
+                raise InferenceError(
+                    "evidence columns have mismatched lengths "
+                    f"{ {u: c.size for u, c in columns.items()} }"
+                )
         if n == 0:
             raise InferenceError("query_batch needs at least one evidence row")
-        for v, col in columns.items():
-            if col.min() < 0 or col.max() >= self._cards[v]:
-                raise InferenceError(
-                    f"evidence states for {v!r} out of range (card {self._cards[v]})"
-                )
+        try:
+            flat = np.ravel_multi_index(
+                tuple(columns[v] for v in plan.evidence_vars), plan.ev_cards
+            )
+        except ValueError:
+            for v in plan.evidence_vars:
+                col = columns[v]
+                if col.size and (col.min() < 0 or col.max() >= self._cards[v]):
+                    raise InferenceError(
+                        f"evidence states for {v!r} out of range "
+                        f"(card {self._cards[v]})"
+                    ) from None
+            raise  # pragma: no cover - ravel failed for another reason
         if self.failure_hook is not None:
             self.failure_hook("batch", variables, columns)
-        plan = self._plan(variables, frozenset(columns))
-        if not self._use_einsum:  # pragma: no cover - large-network fallback
-            out = np.stack(
-                [
-                    self._eliminate(plan, {v: int(col[i]) for v, col in columns.items()})
-                    for i in range(n)
-                ]
-            )
+        if plan.joint is not None:
+            table = plan.joint
+            if use_f32:
+                if plan.joint_f32 is None:
+                    plan.joint_f32 = plan.joint.astype(np.float32)
+                table = plan.joint_f32
+            out = table.take(flat, axis=0)
+            totals = out.sum(axis=1)
+            bad = np.flatnonzero(totals <= 0)
+            if bad.size:
+                raise InferenceError(
+                    "evidence has zero probability under the model at rows "
+                    f"{bad[:5].tolist()}"
+                )
+            out = out / totals[:, None]
+            out = out.reshape((n,) + plan.out_shape)
         else:
-            arrays = [
-                values[tuple(columns[v] for v in ev_vars)] if ev_vars else values
-                for values, ev_vars, _ in plan.operands
-            ]
-            if plan.path_batch is None:
-                plan.path_batch = np.einsum_path(
-                    plan.subscripts_batch, *arrays, optimize="greedy"
-                )[0]
-            out = np.einsum(plan.subscripts_batch, *arrays, optimize=plan.path_batch)
-        totals = out.reshape(n, -1).sum(axis=1)
-        bad = np.flatnonzero(totals <= 0)
-        if bad.size:
-            raise InferenceError(
-                f"evidence has zero probability under the model at rows {bad[:5].tolist()}"
-            )
+            out = self._batch_sliced(plan, columns, n, use_f32)
         if _t0 is not None:
             _OBS.metrics.counter("engine.query_batch.calls").inc()
             _OBS.metrics.counter("engine.query_batch.rows").inc(n)
             _OBS.metrics.histogram("engine.query_batch.seconds").observe(
                 _OBS.clock() - _t0
             )
-        return out / totals.reshape((n,) + (1,) * len(plan.out_shape))
+        return out
+
+    def _batch_sliced(
+        self,
+        plan: _QueryPlan,
+        columns: Mapping[str, np.ndarray],
+        n: int,
+        use_f32: bool,
+    ) -> np.ndarray:
+        """Batch answer for plans whose joint table was over budget."""
+        if plan.schedule_batch is None:  # pragma: no cover - see _build_sliced
+            out = np.stack(
+                [
+                    self._eliminate(
+                        plan, {v: int(col[i]) for v, col in columns.items()}
+                    )
+                    for i in range(n)
+                ]
+            )
+        else:
+            operands = plan.operands
+            if use_f32:
+                if plan.operands_f32 is None:
+                    plan.operands_f32 = [
+                        (values.astype(np.float32), ev, free)
+                        for values, ev, free in plan.operands
+                    ]
+                operands = plan.operands_f32
+            arrays = [
+                values[tuple(columns[v] for v in ev_vars)] if ev_vars else values
+                for values, ev_vars, _ in operands
+            ]
+            out = execute_schedule(plan.schedule_batch, arrays)
+        totals = out.reshape(n, -1).sum(axis=1)
+        bad = np.flatnonzero(totals <= 0)
+        if bad.size:
+            raise InferenceError(
+                "evidence has zero probability under the model at rows "
+                f"{bad[:5].tolist()}"
+            )
+        out = out / totals.reshape((n,) + (1,) * len(plan.out_shape))
+        if use_f32 and out.dtype != np.float32:  # pragma: no cover - stack path
+            out = out.astype(np.float32)
+        return out
 
     def query_via_sweep(
         self,
         variables: Iterable[str],
         evidence: "Mapping[str, int] | None" = None,
     ) -> DiscreteFactor:
-        """Answer via the plan-guided factor-algebra sweep, regardless of
-        einsum availability.
+        """Answer via the plan-guided factor-algebra sweep.
 
         Semantically identical to :meth:`query` but routed through
         :class:`~repro.bn.factors.DiscreteFactor` operations instead of
-        the single einsum kernel.  The serving layer's fallback chain uses
-        this as an independent backend when the compiled kernel faults;
-        :attr:`failure_hook` deliberately does not fire here.
+        the contraction kernels — an independent numeric path that the
+        serving layer's fallback chain uses when the compiled kernel
+        faults; :attr:`failure_hook` deliberately does not fire here.
         """
-        variables = tuple(str(v) for v in variables)
-        evidence = {str(k): int(v) for k, v in (evidence or {}).items()}
-        self._validate(variables, evidence)
-        for v, s in evidence.items():
+        variables = tuple(map(str, variables))
+        evidence = (
+            {str(k): int(v) for k, v in evidence.items()} if evidence else {}
+        )
+        key = (variables, frozenset(evidence))
+        plan = self._lookup(key)
+        if plan is None:
+            plan = self._compile(key, variables, frozenset(evidence))
+        for v in plan.evidence_vars:
+            s = evidence[v]
             if not 0 <= s < self._cards[v]:
                 raise InferenceError(
                     f"state {s} out of range for {v!r} (card {self._cards[v]})"
                 )
-        plan = self._plan(variables, frozenset(evidence))
         values = self._eliminate(plan, evidence)
         total = float(values.sum())
         if total <= 0:
@@ -357,11 +574,12 @@ class CompiledDiscreteModel:
         return pmfs @ centers
 
     # ------------------------------------------------------------------ #
-    # Fallback elimination (networks too large for einsum labels)
+    # Factor-algebra sweep (independent numeric fallback)
     # ------------------------------------------------------------------ #
 
     def _eliminate(self, plan: _QueryPlan, evidence: Mapping[str, int]) -> np.ndarray:
         """One plan-guided sweep of factor-algebra elimination."""
+        self._build_operands(plan)
         constants = 1.0
         live: list[DiscreteFactor] = []
         for values, ev_vars, free_vars in plan.operands:
@@ -399,27 +617,42 @@ class CompiledDiscreteModel:
 
 
 def _evidence_columns(evidence_rows) -> dict[str, np.ndarray]:
-    """Normalize either batch-evidence form into integer index columns."""
+    """Normalize either batch-evidence form into integer index columns.
+
+    Columnar input that already holds 1-D integer arrays passes through
+    **zero-copy** (``np.shares_memory`` with the caller's arrays); only
+    dtype/shape mismatches pay a conversion.  The row-mapping form fills
+    one preallocated column per variable in a single pass.
+    """
     if isinstance(evidence_rows, Mapping):
-        return {
-            str(v): np.asarray(col, dtype=np.intp).reshape(-1)
-            for v, col in evidence_rows.items()
-        }
+        columns: dict[str, np.ndarray] = {}
+        for v, col in evidence_rows.items():
+            arr = np.asarray(col)
+            if arr.dtype != np.intp:
+                if arr.dtype.kind in "iu":
+                    arr = arr.astype(np.intp, copy=False)
+                else:
+                    arr = np.asarray(col, dtype=np.intp)
+            if arr.ndim != 1:
+                arr = arr.reshape(-1)
+            columns[str(v)] = arr
+        return columns
     rows = list(evidence_rows)
     if not rows:
         raise InferenceError("query_batch needs at least one evidence row")
-    keys = set(map(str, rows[0]))
-    columns: dict[str, list[int]] = {k: [] for k in keys}
+    keys = tuple(map(str, rows[0]))
+    key_set = set(keys)
+    out = {k: np.empty(len(rows), dtype=np.intp) for k in keys}
     for i, row in enumerate(rows):
         row = {str(k): int(v) for k, v in row.items()}
-        if set(row) != keys:
+        if set(row) != key_set:
             raise InferenceError(
                 f"evidence row {i} observes {sorted(row)}, "
-                f"expected {sorted(keys)} (one signature per batch)"
+                f"expected {sorted(key_set)} (one signature per batch)"
             )
         for k in keys:
-            columns[k].append(row[k])
-    return {k: np.asarray(v, dtype=np.intp) for k, v in columns.items()}
+            out[k][i] = row[k]
+    return out
 
 
 def _min_fill_order(

@@ -14,15 +14,26 @@ Construction follows the classic recipe (Lauritzen & Spiegelhalter):
    spanning tree over separator sizes (which satisfies the running-
    intersection property for elimination-ordered cliques);
 3. multiply each CPD factor into one clique containing its family;
-4. calibrate with a collect/distribute pass of sum-product messages.
+4. calibrate with sum-product messages over the tree.
 
 The expensive steps — triangulation, spanning tree, factor assignment —
 depend only on the *network*, so they run once.  Evidence enters as
 one-hot indicator slices multiplied into the home clique's potential,
 and :meth:`JunctionTree.absorb` / :meth:`JunctionTree.retract` change
-the observed set *incrementally*: only the (cheap) message-passing
-recalibration reruns, never the tree construction.  Calibration is lazy,
-so an absorb/retract burst pays for one recalibration, not one per call.
+the observed set **incrementally**: every directed sum-product message
+is cached, and touching a clique's potential invalidates only the
+messages directed *away* from it.  A query then recomputes just the
+invalid messages on the path between the touched cliques and the query
+clique — messages from untouched subtrees are reused — so the
+autonomic manager's per-window evidence churn (absorb a window's
+observations, read a handful of marginals, retract) stops paying full
+two-sweep recalibrations.  Calibration stays lazy: an absorb/retract
+burst pays once, at the next query.
+
+Construct with ``incremental=False`` to disable message reuse — every
+query then recomputes the full two-sweep calibration.  That mode exists
+as the honest comparator for the incremental-speedup benchmark (and as
+a paranoia switch).
 """
 
 from __future__ import annotations
@@ -40,10 +51,17 @@ class JunctionTree:
     """A calibrated clique tree over a discrete Bayesian network.
 
     The tree structure is built once, evidence-free; ``evidence`` given
-    here (or later via :meth:`absorb`) only re-triggers calibration.
+    here (or later via :meth:`absorb`) only re-triggers (incremental)
+    calibration.
     """
 
-    def __init__(self, network, evidence: "Mapping[str, int] | None" = None):
+    def __init__(
+        self,
+        network,
+        evidence: "Mapping[str, int] | None" = None,
+        *,
+        incremental: bool = True,
+    ):
         from repro.bn.inference.variable_elimination import _network_factors
 
         self._cards: dict[str, int] = dict(network.cardinalities)
@@ -52,16 +70,30 @@ class JunctionTree:
         self._cliques = _triangulate(factors, variables)
         self._edges = _spanning_tree(self._cliques)
         self._base_potentials = _assign_factors(self._cliques, factors, self._cards)
+        self._nbrs: list[list[int]] = [[] for _ in self._cliques]
+        for a, b in self._edges:
+            self._nbrs[a].append(b)
+            self._nbrs[b].append(a)
         # Home clique for each variable's evidence indicator.
         self._home: dict[str, int] = {}
         for v in variables:
             self._home[v] = next(i for i, c in enumerate(self._cliques) if v in c)
         self._evidence: dict[str, int] = {}
-        self._beliefs: "list[DiscreteFactor] | None" = None
+        self._incremental = bool(incremental)
+        # Potentials with current evidence folded in, the directed
+        # message cache, and lazily computed clique beliefs.
+        self._potentials: list[DiscreteFactor] = list(self._base_potentials)
+        self._messages: dict[tuple[int, int], DiscreteFactor] = {}
+        self._beliefs: dict[int, DiscreteFactor] = {}
+        # True whenever potentials changed since the last pull; the next
+        # pull then counts (and times) as one recalibration.
+        self._dirty = True
         if evidence:
             self.absorb(evidence)
         else:
-            self._recalibrate()
+            # Validate the evidence-free model once (mirrors the eager
+            # calibration the tree historically performed on build).
+            self._belief(0)
 
     # ------------------------------------------------------------------ #
 
@@ -81,6 +113,38 @@ class JunctionTree:
     # ------------------------------------------------------------------ #
     # Incremental evidence
     # ------------------------------------------------------------------ #
+
+    def _indicator(self, v: str, s: int) -> DiscreteFactor:
+        one_hot = np.zeros(self._cards[v])
+        one_hot[s] = 1.0
+        return DiscreteFactor([v], [self._cards[v]], one_hot)
+
+    def _rebuild_potential(self, i: int) -> None:
+        """Recompute clique ``i``'s potential from base × its evidence."""
+        p = self._base_potentials[i]
+        for v, s in self._evidence.items():
+            if self._home[v] == i:
+                p = p.product(self._indicator(v, s))
+        self._potentials[i] = p
+
+    def _touch(self, i: int) -> None:
+        """Invalidate everything downstream of a changed potential.
+
+        A directed message ``(u → v)`` summarizes the side of the tree
+        behind ``u``; changing clique ``i`` invalidates exactly the
+        messages directed *away* from ``i`` (one per edge), while every
+        message directed toward ``i`` stays valid.  Beliefs all depend
+        on the full evidence, so the belief cache clears wholesale.
+        """
+        self._beliefs.clear()
+        self._dirty = True
+        stack = [(i, -1)]
+        while stack:
+            node, parent = stack.pop()
+            for nbr in self._nbrs[node]:
+                if nbr != parent:
+                    self._messages.pop((node, nbr), None)
+                    stack.append((nbr, node))
 
     def absorb(self, evidence: Mapping[str, int]) -> "JunctionTree":
         """Add observations without rebuilding the tree.
@@ -106,20 +170,43 @@ class JunctionTree:
                 raise InferenceError(
                     f"state {s} out of range for {v!r} (card {self._cards[v]})"
                 )
+        homes = {self._home[v] for v in ev}
+        saved_potentials = {i: self._potentials[i] for i in homes}
+        saved_messages = dict(self._messages)
+        saved_beliefs = dict(self._beliefs)
+        saved_dirty = self._dirty
         self._evidence.update(ev)
-        self._beliefs = None
+        for v, s in ev.items():
+            i = self._home[v]
+            self._potentials[i] = self._potentials[i].product(
+                self._indicator(v, s)
+            )
+        for i in homes:
+            self._touch(i)
         try:
-            self._require_calibrated()
+            # Any single belief sums to P(evidence); pulling one both
+            # validates the new observations and reuses every message
+            # from subtrees the evidence did not touch.
+            check = next(iter(homes))
+            if float(self._belief(check).values.sum()) <= 0:
+                raise InferenceError(
+                    "evidence has zero probability under the model"
+                )
         except InferenceError:
             # Roll back so the tree stays usable after bad evidence.
             for v in ev:
                 del self._evidence[v]
-            self._beliefs = None
+            for i, p in saved_potentials.items():
+                self._potentials[i] = p
+            self._messages = saved_messages
+            self._beliefs = saved_beliefs
+            self._dirty = saved_dirty
             raise
         return self
 
     def retract(self, variables: Iterable[str]) -> "JunctionTree":
-        """Drop observations on ``variables``; calibration reruns lazily."""
+        """Drop observations on ``variables``; calibration reruns lazily
+        (and incrementally) at the next query."""
         if _OBS.enabled:
             _OBS.metrics.counter("jtree.retract.calls").inc()
         names = [str(v) for v in variables]
@@ -128,105 +215,95 @@ class JunctionTree:
             raise InferenceError(f"variables not observed: {sorted(missing)}")
         for v in names:
             del self._evidence[v]
-        self._beliefs = None
+        homes = {self._home[v] for v in names}
+        for i in homes:
+            self._rebuild_potential(i)
+            self._touch(i)
         return self
 
     # ------------------------------------------------------------------ #
-    # Calibration
+    # Calibration (lazy, message-cached)
     # ------------------------------------------------------------------ #
 
-    def _neighbors(self, i: int) -> list[int]:
-        out = []
-        for a, b in self._edges:
-            if a == i:
-                out.append(b)
-            elif b == i:
-                out.append(a)
-        return out
+    def _send(self, src: int, dst: int) -> None:
+        """Compute and cache the sum-product message ``src → dst``.
 
-    def _evidence_potentials(self) -> list[DiscreteFactor]:
-        """Base potentials with one-hot indicators for current evidence."""
-        potentials = list(self._base_potentials)
-        for v, s in self._evidence.items():
-            one_hot = np.zeros(self._cards[v])
-            one_hot[s] = 1.0
-            i = self._home[v]
-            potentials[i] = potentials[i].product(
-                DiscreteFactor([v], [self._cards[v]], one_hot)
+        All messages toward ``src`` from its other neighbors must
+        already be cached (the pull loop guarantees leaves-first order).
+        """
+        product = self._potentials[src]
+        for nbr in self._nbrs[src]:
+            if nbr != dst:
+                product = product.product(self._messages[(nbr, src)])
+        sep = self._cliques[src] & self._cliques[dst]
+        drop = set(product.variables) - sep
+        if drop == set(product.variables):
+            # Empty separator (independent components joined by a
+            # zero-weight tree edge): the message is the scalar total,
+            # carried as a constant factor over one dst variable so
+            # the product machinery needs no empty-scope special case.
+            scalar = float(product.values.sum())
+            v = next(iter(self._cliques[dst]))
+            msg = DiscreteFactor(
+                [v], [self._cards[v]], np.full(self._cards[v], scalar)
             )
-        return potentials
+        elif drop:
+            msg = product.marginalize(drop)
+        else:
+            msg = product
+        self._messages[(src, dst)] = msg
 
-    def _require_calibrated(self) -> None:
-        if self._beliefs is None:
-            self._recalibrate()
+    def _pull(self, root: int) -> int:
+        """Ensure every message directed toward ``root`` is cached.
 
-    def _recalibrate(self) -> None:
-        """Two-pass sum-product message passing over the (fixed) tree."""
-        _t0 = _OBS.clock() if _OBS.enabled else None
-        n = len(self._cliques)
-        potentials = self._evidence_potentials()
-        messages: dict[tuple[int, int], DiscreteFactor] = {}
-
-        def send(src: int, dst: int) -> None:
-            product = potentials[src]
-            for nbr in self._neighbors(src):
-                if nbr != dst and (nbr, src) in messages:
-                    product = product.product(messages[(nbr, src)])
-            sep = self._cliques[src] & self._cliques[dst]
-            drop = set(product.variables) - sep
-            if drop == set(product.variables):
-                # Empty separator (independent components joined by a
-                # zero-weight tree edge): the message is the scalar total,
-                # carried as a constant factor over one dst variable so
-                # the product machinery needs no empty-scope special case.
-                scalar = float(product.values.sum())
-                v = next(iter(self._cliques[dst]))
-                msg = DiscreteFactor(
-                    [v], [self._cards[v]], np.full(self._cards[v], scalar)
-                )
-            elif drop:
-                msg = product.marginalize(drop)
-            else:
-                msg = product
-            messages[(src, dst)] = msg
-
-        # Collect toward clique 0, then distribute, via DFS ordering.
-        seen = {0}
-        stack = [0]
-        parent = {0: -1}
-        topo = []
+        Returns the number of messages actually recomputed — cached
+        messages from untouched subtrees are reused, which is the whole
+        point of incremental recalibration.
+        """
+        was_dirty = self._dirty
+        _t0 = _OBS.clock() if _OBS.enabled and was_dirty else None
+        if not self._incremental:
+            self._messages.clear()
+            self._beliefs.clear()
+        # Iterative leaves-first ordering of the edges directed at root.
+        order: list[tuple[int, int]] = []
+        stack = [(root, -1)]
         while stack:
-            cur = stack.pop()
-            topo.append(cur)
-            for nbr in self._neighbors(cur):
-                if nbr not in seen:
-                    seen.add(nbr)
-                    parent[nbr] = cur
-                    stack.append(nbr)
-        if len(topo) != n:
-            raise InferenceError("clique tree is disconnected")  # pragma: no cover
-        for node in reversed(topo):  # leaves first: collect
-            if parent[node] >= 0:
-                send(node, parent[node])
-        for node in topo:  # root first: distribute
-            for nbr in self._neighbors(node):
-                if parent.get(nbr) == node:
-                    send(node, nbr)
+            node, parent = stack.pop()
+            for nbr in self._nbrs[node]:
+                if nbr != parent:
+                    order.append((nbr, node))
+                    stack.append((nbr, node))
+        computed = 0
+        reused = 0
+        for src, dst in reversed(order):
+            if (src, dst) not in self._messages:
+                self._send(src, dst)
+                computed += 1
+            else:
+                reused += 1
+        if was_dirty:
+            self._dirty = False
+            if _t0 is not None:
+                _OBS.metrics.counter("jtree.recalibrations").inc()
+                _OBS.metrics.counter("jtree.messages.computed").inc(computed)
+                _OBS.metrics.counter("jtree.messages.reused").inc(reused)
+                _OBS.metrics.histogram("jtree.recalibrate.seconds").observe(
+                    _OBS.clock() - _t0
+                )
+        return computed
 
-        beliefs = []
-        for i in range(n):
-            b = potentials[i]
-            for nbr in self._neighbors(i):
-                b = b.product(messages[(nbr, i)])
-            beliefs.append(b)
-        if float(beliefs[0].values.sum()) <= 0:
-            raise InferenceError("evidence has zero probability under the model")
-        self._beliefs = beliefs
-        if _t0 is not None:
-            _OBS.metrics.counter("jtree.recalibrations").inc()
-            _OBS.metrics.histogram("jtree.recalibrate.seconds").observe(
-                _OBS.clock() - _t0
-            )
+    def _belief(self, i: int) -> DiscreteFactor:
+        """Unnormalized clique belief ``P(clique_i, evidence)``."""
+        cached = self._beliefs.get(i)
+        if cached is not None:
+            return cached
+        self._pull(i)
+        b = self._potentials[i]
+        for nbr in self._nbrs[i]:
+            b = b.product(self._messages[(nbr, i)])
+        self._beliefs[i] = b
+        return b
 
     # ------------------------------------------------------------------ #
     # Queries
@@ -237,10 +314,9 @@ class JunctionTree:
         variable = str(variable)
         if variable in self._evidence:
             raise InferenceError(f"{variable!r} is observed")
-        self._require_calibrated()
-        assert self._beliefs is not None
-        for clique, belief in zip(self._cliques, self._beliefs):
+        for i, clique in enumerate(self._cliques):
             if variable in clique:
+                belief = self._belief(i)
                 drop = set(belief.variables) - {variable}
                 f = belief.marginalize(drop) if drop else belief
                 return f.normalize()
@@ -257,9 +333,7 @@ class JunctionTree:
 
     def log_probability_of_evidence(self) -> float:
         """``ln P(evidence)`` — the calibration's normalizing constant."""
-        self._require_calibrated()
-        assert self._beliefs is not None
-        total = float(self._beliefs[0].values.sum())
+        total = float(self._belief(0).values.sum())
         if total <= 0:
             raise InferenceError("evidence has zero probability")
         return float(np.log(total))

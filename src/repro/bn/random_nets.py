@@ -1,0 +1,62 @@
+"""Random discrete-network generation for property tests and benchmarks.
+
+The paper's Fig. 5 evaluates inference over *randomly generated*
+KERT-BNs of varying width, not just the canned eDiaMoND workflow.  The
+perf matrix in ``benchmarks/test_inference_matrix.py`` and the engine
+property tests need the same thing: seeded, reproducible networks
+sweeping **width** (node count) and **n_bins** (per-variable
+cardinality), with strictly positive CPDs by default so exact-inference
+cross-checks never trip the zero-probability guard rails by accident.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bn.cpd import TabularCPD
+from repro.bn.dag import DAG
+from repro.bn.network import DiscreteBayesianNetwork
+
+
+def random_discrete_network(
+    rng: np.random.Generator,
+    *,
+    width: int = 8,
+    n_bins: int = 4,
+    edge_prob: float = 0.35,
+    max_parents: int = 2,
+    concentration: float = 1.0,
+    min_prob: float = 1e-6,
+) -> DiscreteBayesianNetwork:
+    """Sample a discrete BN of ``width`` nodes, each with ``n_bins`` states.
+
+    ``max_parents`` bounds the treewidth (and hence cross-check cost) of
+    the sampled nets; ``min_prob > 0`` floors every CPD column so the
+    joint is strictly positive — pass ``0.0`` to allow raw Dirichlet
+    draws.  Deterministic for a fixed ``rng`` state.
+    """
+    nodes = [f"v{i}" for i in range(int(width))]
+    dag = DAG.random(nodes, edge_prob, rng, max_parents=max_parents)
+    cpds = []
+    for n in dag.nodes:
+        parents = dag.parents(n)
+        cpd = TabularCPD.random(
+            n,
+            int(n_bins),
+            rng,
+            parents,
+            tuple(int(n_bins) for _ in parents),
+            concentration=concentration,
+        )
+        if min_prob > 0.0:
+            table = np.maximum(cpd.values, min_prob)
+            table = table / table.sum(axis=0, keepdims=True)
+            cpd = TabularCPD(
+                n,
+                int(n_bins),
+                table,
+                parents,
+                tuple(int(n_bins) for _ in parents),
+            )
+        cpds.append(cpd)
+    return DiscreteBayesianNetwork(dag, cpds)

@@ -404,7 +404,17 @@ class ModelServer:
             and breaker.allow()
         ):
             try:
-                pmfs = engine.query_batch(variables, state_rows)
+                # Same-signature group → hand the engine columnar intp
+                # arrays, skipping its per-row dict fallback entirely.
+                columns = {
+                    v: np.fromiter(
+                        (row[v] for row in state_rows),
+                        dtype=np.intp,
+                        count=len(state_rows),
+                    )
+                    for v in state_rows[0]
+                }
+                pmfs = engine.query_batch(variables, columns)
             except Exception:
                 breaker.record_failure()
             else:

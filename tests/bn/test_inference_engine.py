@@ -178,3 +178,66 @@ def test_zero_probability_evidence_raises():
         engine.query_batch(["C"], {"B": [0, 1]})
     # The possible row alone still works.
     np.testing.assert_allclose(engine.query_batch(["C"], {"B": [0]})[0].sum(), 1.0)
+
+
+def test_plan_cache_lru_cap_holds():
+    """Adversarial query mixes may not grow the plan cache past its cap."""
+    rng = np.random.default_rng(12)
+    net = random_discrete_net(rng, n_nodes=6)
+    engine = CompiledDiscreteModel(net, plan_cache_size=4)
+    assert engine.plan_cache_capacity == 4
+    nodes = [str(n) for n in net.nodes]
+    # 6 distinct signatures: vary the query variable with fixed evidence.
+    for q in nodes[1:]:
+        engine.query([q], {nodes[0]: 0})
+    engine.query([nodes[0]], {nodes[1]: 0})
+    stats = engine.cache_stats()
+    assert engine.n_cached_plans <= 4
+    assert stats["evictions"] >= 2
+    assert stats["compiles"] == 6
+    # Evicted signatures recompile — and still answer correctly.
+    got = engine.query([nodes[1]], {nodes[0]: 0})
+    np.testing.assert_allclose(
+        got.values, ve_query(net, [nodes[1]], {nodes[0]: 0}).values, atol=1e-9
+    )
+    assert engine.n_cached_plans <= 4
+
+
+def test_evidence_columns_intp_arrays_are_not_copied():
+    """Columnar intp evidence must flow through zero-copy."""
+    from repro.bn.inference.engine import _evidence_columns
+
+    col = np.arange(16, dtype=np.intp)
+    out = _evidence_columns({"A": col})
+    assert np.shares_memory(out["A"], col)
+    # Other integer dtypes of the same width are also zero-copy.
+    if np.dtype(np.int64).itemsize == np.dtype(np.intp).itemsize:
+        col64 = np.arange(16, dtype=np.int64)
+        assert np.shares_memory(_evidence_columns({"A": col64})["A"], col64)
+    # Floats must be converted (and hence copied), never reinterpreted.
+    colf = np.zeros(4, dtype=np.float64)
+    outf = _evidence_columns({"A": colf})
+    assert outf["A"].dtype == np.intp
+    assert not np.shares_memory(outf["A"], colf)
+
+
+def test_query_batch_float32_path():
+    """Single-precision batches stay within the documented deviation."""
+    from repro.bn.inference.engine import FLOAT32_MAX_DEVIATION
+
+    rng = np.random.default_rng(13)
+    net = random_discrete_net(rng, n_nodes=6)
+    engine = CompiledDiscreteModel(net)
+    nodes = [str(n) for n in net.nodes]
+    cards = net.cardinalities
+    ev_vars = [nodes[0], nodes[-1]]
+    n = 64
+    columns = {
+        v: rng.integers(0, cards[v], size=n).astype(np.intp) for v in ev_vars
+    }
+    exact = engine.query_batch([nodes[2]], columns)
+    fast = engine.query_batch([nodes[2]], columns, dtype=np.float32)
+    assert fast.dtype == np.float32
+    assert np.max(np.abs(fast.astype(np.float64) - exact)) <= FLOAT32_MAX_DEVIATION
+    with pytest.raises(InferenceError, match="dtype"):
+        engine.query_batch([nodes[2]], columns, dtype=np.int32)

@@ -143,3 +143,46 @@ def test_gate_accepts_the_committed_obs_baseline():
     payload = json.loads(committed.read_text())
     failures, _ = gate.compare(payload, payload, suite="obs", absolute=True)
     assert failures == []
+
+
+def test_jtree_metric_only_gated_when_baseline_has_it():
+    base = copy.deepcopy(BASELINE)
+    base["jtree"] = {"incremental_speedup_vs_full": 2.0}
+    slow = copy.deepcopy(base)
+    slow["jtree"]["incremental_speedup_vs_full"] = 0.8
+    failures, _ = gate.compare(base, slow)
+    assert len(failures) == 1
+    assert "incremental" in failures[0]
+    # A baseline without the section ignores it entirely.
+    failures, report = gate.compare(BASELINE, slow)
+    assert failures == []
+    assert len(report) == 2
+
+
+def test_matrix_cells_gate_per_cell():
+    base = copy.deepcopy(BASELINE)
+    base["matrix"] = {
+        "bins3_width6": {
+            "batched_speedup_vs_loop": 50.0,
+            "batched_qps": 1_000_000.0,
+        },
+        "bins6_width14": {
+            "batched_speedup_vs_loop": 40.0,
+            "batched_qps": 800_000.0,
+        },
+    }
+    ok, _ = gate.compare(base, copy.deepcopy(base))
+    assert ok == []
+    slow = copy.deepcopy(base)
+    slow["matrix"]["bins6_width14"]["batched_speedup_vs_loop"] = 10.0
+    failures, _ = gate.compare(base, slow)
+    assert len(failures) == 1
+    assert "bins6_width14" in failures[0]
+    # Raw cell qps only gates with --absolute (machine-dependent).
+    slow_qps = copy.deepcopy(base)
+    slow_qps["matrix"]["bins3_width6"]["batched_qps"] = 100_000.0
+    failures, _ = gate.compare(base, slow_qps)
+    assert failures == []
+    failures, _ = gate.compare(base, slow_qps, absolute=True)
+    assert len(failures) == 1
+    assert "bins3_width6" in failures[0]
