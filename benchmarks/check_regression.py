@@ -10,6 +10,12 @@ Two benchmark payloads are guarded:
   ``BENCH_obs.json`` (enabled-vs-disabled instrumentation overhead and
   ``/metrics`` scrape latency); the gate keeps the observability layer's
   "near-zero overhead" contract from silently eroding.
+- ``--suite serving`` — ``benchmarks/test_serving_throughput.py``
+  persists ``BENCH_serving.json`` (sharded-fabric load harness); the
+  gate keeps the dynamic batcher's coalesce ratio and the guarded
+  columnar path's fraction-of-raw-kernel throughput from eroding, and —
+  with ``--absolute`` — floors sustained qps and ceilings p95/p99 tail
+  latency.
 
 Each guarded metric has a *direction*: for higher-is-better metrics
 (speedup ratios) the gate fails when ``fresh < baseline * (1 -
@@ -93,6 +99,27 @@ SUITES = {
         ),
         "upper_absolute": (
             ("scrape", "p95_seconds", "p95 /metrics render latency (s)"),
+        ),
+    },
+    "serving": {
+        # Machine-independent ratios: rows coalesced per kernel flush,
+        # and the guarded columnar path as a fraction of the raw kernel.
+        "lower": (
+            ("coalesce", "ratio", "batcher coalesce ratio (rows/flush)"),
+            (
+                "batched",
+                "fabric_over_kernel",
+                "guarded columnar path vs raw kernel",
+            ),
+        ),
+        "lower_absolute": (
+            ("coalesce", "sustained_qps", "sustained single-query qps"),
+            ("batched", "fabric_rows_per_s", "guarded columnar rows/sec"),
+        ),
+        "upper": (),
+        "upper_absolute": (
+            ("coalesce", "p95_seconds", "p95 single-query latency (s)"),
+            ("coalesce", "p99_seconds", "p99 single-query latency (s)"),
         ),
     },
 }

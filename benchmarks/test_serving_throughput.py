@@ -1,0 +1,260 @@
+"""Serving-fabric load harness: ≥1M mixed-tenant queries across 4 shards.
+
+Two traffic shapes drive the sharded multi-tenant fabric built in this
+PR, both against registry-backed shards of the eDiaMoND discrete
+KERT-BN:
+
+- **coalescing segment** — 8 threads pipeline bursty single ``query``
+  submissions (12 tenants, shared evidence signature) through the
+  :class:`DynamicBatcher`; measures sustained qps, p50/p95/p99 latency,
+  and the coalesce ratio (rows per kernel flush), which must exceed 2×;
+- **columnar segment** — ~0.9M evidence rows in bursty variable-size
+  chunks through the router's ``query_batch_columns`` lane, compared
+  against the raw ``engine.query_batch`` kernel on the *same* chunks;
+  the fully-guarded fabric path must stay within 5× of the bare kernel.
+
+Together the segments push ≥1M queries.  Results land in
+``BENCH_serving.json`` (repo root + ``benchmarks/results/``), gated by
+``benchmarks/check_regression.py --suite serving``.
+"""
+
+import json
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from _util import RESULTS_DIR, emit_series
+
+from repro.core.kertbn import build_discrete_kertbn
+from repro.serving.fabric import build_fabric
+from repro.serving.registry import ModelRegistry
+from repro.simulator.scenarios.ediamond import ediamond_scenario
+
+N_SHARDS = 4
+N_TENANTS = 12
+N_THREADS = 8
+BURST = 32
+MAX_BATCH = 64
+MAX_WAIT_US = 2000.0
+
+N_COALESCE_QUERIES = 120_000
+N_COLUMNAR_ROWS = 900_000
+
+EVIDENCE_VARS = ("X1", "X2", "D")
+TARGET = "X3"
+
+
+@pytest.fixture(scope="module")
+def shard_registries(tmp_path_factory):
+    """Four registry-backed shards, each serving the published model."""
+    env = ediamond_scenario()
+    train = env.simulate(1000, rng=95_000)
+    model = build_discrete_kertbn(env.workflow, train, n_bins=5)
+    root = tmp_path_factory.mktemp("fabric-registries")
+    registries = []
+    for i in range(N_SHARDS):
+        reg = ModelRegistry(str(root / f"shard-{i}"))
+        reg.publish(model)
+        registries.append(reg)
+    return registries, model
+
+
+def _pct(sorted_lats, q):
+    return float(sorted_lats[min(len(sorted_lats) - 1, int(q * len(sorted_lats)))])
+
+
+def test_serving_fabric_throughput(shard_registries, benchmark):
+    registries, model = shard_registries
+    fabric = build_fabric(
+        registries,
+        max_batch=MAX_BATCH,
+        max_wait_us=MAX_WAIT_US,
+        rng=0,
+    )
+    tenants = [f"tenant-{i}" for i in range(N_TENANTS)]
+    net = model.network
+    cards = net.cardinalities
+    engine = fabric.router.shards[0].chain.engine
+
+    # ------------------------------------------------------------------ #
+    # Segment A: bursty single queries coalescing through the batcher
+    # ------------------------------------------------------------------ #
+    evidence = {"X1": 1, "X2": 2}
+
+    def worker(w: int) -> list:
+        rng = np.random.default_rng(1 + w)
+        n = N_COALESCE_QUERIES // N_THREADS
+        lats, pending = [], []
+
+        def drain():
+            for t0, p in pending:
+                p.result(timeout=60.0)
+                lats.append(time.perf_counter() - t0)
+            pending.clear()
+
+        done = 0
+        while done < n:
+            # Bursty arrivals: bursts of 8..BURST back-to-back, then wait.
+            size = min(int(rng.integers(8, BURST + 1)), n - done)
+            for _ in range(size):
+                tenant = tenants[int(rng.integers(N_TENANTS))]
+                pending.append(
+                    (
+                        time.perf_counter(),
+                        fabric.submit(tenant, [TARGET], evidence, binned=True),
+                    )
+                )
+            done += size
+            drain()
+        return lats
+
+    # Warm every shard's batch plan outside the timing.
+    for t in tenants:
+        fabric.query(t, [TARGET], evidence, binned=True)
+
+    t0 = time.perf_counter()
+    with ThreadPoolExecutor(N_THREADS) as ex:
+        lats = sorted(
+            x for chunk in ex.map(worker, range(N_THREADS)) for x in chunk
+        )
+    coalesce_elapsed = time.perf_counter() - t0
+    n_coalesce = len(lats)
+    sustained_qps = n_coalesce / coalesce_elapsed
+    coalesce_ratio = fabric.batcher.coalesce_ratio
+
+    # ------------------------------------------------------------------ #
+    # Segment B: bulk columnar traffic vs the raw kernel on same chunks
+    # ------------------------------------------------------------------ #
+    rng = np.random.default_rng(7)
+    chunks = []
+    remaining = N_COLUMNAR_ROWS
+    while remaining > 0:
+        size = min(int(rng.integers(512, 4096)), remaining)
+        chunks.append(
+            {
+                v: rng.integers(0, cards[v], size=size).astype(np.intp)
+                for v in EVIDENCE_VARS
+            }
+        )
+        remaining -= size
+    n_columnar = sum(len(c[EVIDENCE_VARS[0]]) for c in chunks)
+
+    engine.query_batch([TARGET], chunks[0])  # warm the batch plan
+    t0 = time.perf_counter()
+    for cols in chunks:
+        engine.query_batch([TARGET], cols)
+    kernel_s = time.perf_counter() - t0
+    kernel_rows_per_s = n_columnar / kernel_s
+
+    t0 = time.perf_counter()
+    for i, cols in enumerate(chunks):
+        tenant = tenants[i % N_TENANTS]
+        result = fabric.query_batch_columns(tenant, [TARGET], cols)
+        assert result.ok and result.n_valid == len(cols[EVIDENCE_VARS[0]])
+    fabric_s = time.perf_counter() - t0
+    fabric_rows_per_s = n_columnar / fabric_s
+    fabric_over_kernel = fabric_rows_per_s / kernel_rows_per_s
+
+    fabric.close()
+    snap = fabric.stats()
+
+    # ------------------------------------------------------------------ #
+    # Acceptance criteria
+    # ------------------------------------------------------------------ #
+    total = n_coalesce + n_columnar
+    assert total >= 1_000_000, f"only {total:,} queries driven"
+    assert snap["n_shards"] >= 4
+    assert coalesce_ratio > 2.0, (
+        f"coalesce ratio {coalesce_ratio:.2f} <= 2x: batching is not "
+        f"actually coalescing concurrent traffic"
+    )
+    assert fabric_over_kernel >= 1 / 5, (
+        f"guarded columnar path at {fabric_rows_per_s:,.0f} rows/s is "
+        f"more than 5x off the bare kernel ({kernel_rows_per_s:,.0f})"
+    )
+    # Every row landed in exactly one tenant rollup (+1 warm-up each).
+    tenant_total = sum(
+        t["stats"]["n_queries"] for t in snap["tenants"].values()
+    )
+    assert tenant_total == total + N_TENANTS
+
+    rows = [
+        {
+            "path": f"batcher singles ({N_THREADS} threads, burst {BURST})",
+            "rows_per_s": sustained_qps,
+            "p95_ms": _pct(lats, 0.95) * 1e3,
+            "p99_ms": _pct(lats, 0.99) * 1e3,
+        },
+        {
+            "path": "fabric columnar (guarded)",
+            "rows_per_s": fabric_rows_per_s,
+            "p95_ms": float("nan"),
+            "p99_ms": float("nan"),
+        },
+        {
+            "path": "raw query_batch kernel",
+            "rows_per_s": kernel_rows_per_s,
+            "p95_ms": float("nan"),
+            "p99_ms": float("nan"),
+        },
+    ]
+    emit_series(
+        "BENCH_serving",
+        f"{N_SHARDS}-shard fabric, {N_TENANTS} tenants, "
+        f"{total:,} queries",
+        rows,
+    )
+    payload = {
+        "fabric": {
+            "n_shards": N_SHARDS,
+            "n_tenants": N_TENANTS,
+            "max_batch": MAX_BATCH,
+            "max_wait_us": MAX_WAIT_US,
+            "total_queries": total,
+        },
+        "coalesce": {
+            "n_queries": n_coalesce,
+            "n_threads": N_THREADS,
+            "burst": BURST,
+            "sustained_qps": sustained_qps,
+            "p50_seconds": _pct(lats, 0.50),
+            "p95_seconds": _pct(lats, 0.95),
+            "p99_seconds": _pct(lats, 0.99),
+            "ratio": coalesce_ratio,
+            "n_flushes": fabric.batcher.n_flushes,
+            "n_bypass": fabric.batcher.n_bypass,
+        },
+        "batched": {
+            "n_rows": n_columnar,
+            "n_chunks": len(chunks),
+            "fabric_rows_per_s": fabric_rows_per_s,
+            "kernel_rows_per_s": kernel_rows_per_s,
+            "fabric_over_kernel": fabric_over_kernel,
+        },
+    }
+    _merge_payload(payload)
+
+    # Representative unit for pytest-benchmark's own tracking.
+    benchmark(
+        fabric.router.shards[0].query_batch_columns, [TARGET], chunks[0]
+    )
+
+
+def _merge_payload(update: dict) -> None:
+    """Merge ``update`` into both BENCH_serving.json copies."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    for path in (
+        os.path.join(RESULTS_DIR, "BENCH_serving.json"),
+        os.path.join(os.path.dirname(__file__), "..", "BENCH_serving.json"),
+    ):
+        payload = {}
+        if os.path.exists(path):
+            with open(path) as fh:
+                payload = json.load(fh)
+        payload.update(update)
+        with open(path, "w") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")

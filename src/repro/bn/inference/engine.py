@@ -38,13 +38,17 @@ on the evidence *values*:
 
 The engine treats the network as immutable — compile a new engine if
 CPDs are refit (network construction already builds fresh objects
-everywhere in this codebase).  Plan-cache bookkeeping relies on the GIL
-for atomicity of individual dict operations; concurrent callers may at
-worst compile the same plan twice.
+everywhere in this codebase).  Plan-cache bookkeeping (the LRU ordered
+dict, hit/compile/eviction counters) is guarded by a per-engine lock so
+the serving fabric's worker threads cannot corrupt the recency order or
+evict a plan mid-lookup; plan *construction* happens outside the lock,
+so on a racing miss two threads may build the same plan once each — the
+loser's build is discarded and counted as a hit, never double-inserted.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Iterable, Mapping, Sequence
 
@@ -149,6 +153,7 @@ class CompiledDiscreteModel:
             f.variables for f in self._factors
         )
         self._plans: "OrderedDict[tuple, _QueryPlan]" = OrderedDict()
+        self._cache_lock = threading.Lock()
         self._plan_cache_size = int(plan_cache_size)
         self._max_joint_entries = int(max_joint_entries)
         self._priors: dict[str, DiscreteFactor] = {}
@@ -193,15 +198,16 @@ class CompiledDiscreteModel:
 
     def cache_stats(self) -> dict:
         """Plan-cache tiers at a glance (for serving status surfaces)."""
-        return {
-            "plans": len(self._plans),
-            "capacity": self._plan_cache_size,
-            "hits": self._hits,
-            "compiles": self._compiles,
-            "evictions": self._evictions,
-            "joint_tables": self._joint_tables,
-            "joint_entries": self._joint_entries,
-        }
+        with self._cache_lock:
+            return {
+                "plans": len(self._plans),
+                "capacity": self._plan_cache_size,
+                "hits": self._hits,
+                "compiles": self._compiles,
+                "evictions": self._evictions,
+                "joint_tables": self._joint_tables,
+                "joint_entries": self._joint_entries,
+            }
 
     # ------------------------------------------------------------------ #
     # Plan compilation
@@ -220,20 +226,24 @@ class CompiledDiscreteModel:
             raise InferenceError(f"duplicate query variables: {list(variables)}")
 
     def _lookup(self, key: tuple) -> "_QueryPlan | None":
-        plan = self._plans.get(key)
-        if plan is not None:
-            self._plans.move_to_end(key)
-            self._hits += 1
-            if _OBS.enabled:
-                _OBS.metrics.counter("engine.plan.cache_hits").inc()
+        with self._cache_lock:
+            plan = self._plans.get(key)
+            if plan is not None:
+                self._plans.move_to_end(key)
+                self._hits += 1
+        if plan is not None and _OBS.enabled:
+            _OBS.metrics.counter("engine.plan.cache_hits").inc()
         return plan
 
     def _compile(self, key: tuple, variables: tuple, evidence_vars) -> _QueryPlan:
-        """Build, cache (with LRU eviction), and return a plan."""
+        """Build, cache (with LRU eviction), and return a plan.
+
+        The expensive build happens outside the cache lock; insertion,
+        eviction, and the counters happen under it.  A racing thread
+        that compiled the same key first wins — this thread's build is
+        discarded and its lookup counts as a hit.
+        """
         self._validate(variables, evidence_vars)
-        self._compiles += 1
-        if _OBS.enabled:
-            _OBS.metrics.counter("engine.plan.compiles").inc()
 
         ev_order = tuple(sorted(evidence_vars))
         plan = _QueryPlan(
@@ -262,8 +272,6 @@ class CompiledDiscreteModel:
             plan.joint = np.ascontiguousarray(
                 joint.reshape(n_ev_states, plan.out_size)
             )
-            self._joint_tables += 1
-            self._joint_entries += joint_entries
             if _OBS.enabled:
                 _OBS.metrics.counter("engine.plan.joint_tables").inc()
         else:
@@ -271,15 +279,31 @@ class CompiledDiscreteModel:
             if _OBS.enabled:
                 _OBS.metrics.counter("engine.plan.sliced").inc()
 
-        self._plans[key] = plan
-        while len(self._plans) > self._plan_cache_size:
-            evicted_key, evicted = self._plans.popitem(last=False)
-            if evicted.joint is not None:
-                self._joint_tables -= 1
-                self._joint_entries -= evicted.joint.size
-            self._evictions += 1
-            if _OBS.enabled:
-                _OBS.metrics.counter("engine.plan.evictions").inc()
+        n_evicted = 0
+        with self._cache_lock:
+            existing = self._plans.get(key)
+            if existing is not None:
+                # A racing thread compiled this key first; keep its plan
+                # (callers may already hold references to it).
+                self._plans.move_to_end(key)
+                self._hits += 1
+                return existing
+            self._compiles += 1
+            self._plans[key] = plan
+            if plan.joint is not None:
+                self._joint_tables += 1
+                self._joint_entries += plan.joint.size
+            while len(self._plans) > self._plan_cache_size:
+                evicted_key, evicted = self._plans.popitem(last=False)
+                if evicted.joint is not None:
+                    self._joint_tables -= 1
+                    self._joint_entries -= evicted.joint.size
+                self._evictions += 1
+                n_evicted += 1
+        if _OBS.enabled:
+            _OBS.metrics.counter("engine.plan.compiles").inc()
+            if n_evicted:
+                _OBS.metrics.counter("engine.plan.evictions").inc(n_evicted)
         return plan
 
     def _build_operands(self, plan: _QueryPlan) -> None:
@@ -297,13 +321,15 @@ class CompiledDiscreteModel:
             # row columns) lands the batch axis in front of the free axes.
             values = np.ascontiguousarray(np.transpose(f.values, ev_axes + free_axes))
             operands.append((values, ev_vars, free_vars))
-        plan.operands = operands
         eliminate = (
             set(self._nodes) - set(plan.variables) - set(plan.evidence_vars)
         )
         plan.elimination_order = _min_fill_order(
             self._factors, eliminate, frozenset(plan.evidence_vars)
         )
+        # Publish ``operands`` last: it is the is-built guard other
+        # threads check, so everything it implies must be visible first.
+        plan.operands = operands
 
     def _build_sliced(self, plan: _QueryPlan) -> None:
         """Schedules that replay against evidence-sliced operands."""

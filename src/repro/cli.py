@@ -16,6 +16,9 @@ Subcommands
 - ``dcomp``            — posterior of an unobservable service.
 - ``registry``         — versioned model store: list/publish/activate/rollback.
 - ``serve``            — guarded one-shot query through the fallback chain.
+- ``serve-fabric``     — stand up the sharded multi-tenant fabric and
+  drive a mixed-tenant load through the dynamic batcher, printing
+  sustained qps, tail latency, coalesce ratio, and per-tenant budgets.
 - ``obs``              — dump or reset this process's observability state
   (``snapshot --format prom`` emits the same Prometheus text the HTTP
   ``/metrics`` endpoint serves).
@@ -334,6 +337,100 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve_fabric(args: argparse.Namespace) -> int:
+    import time
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro.core.persistence import load_model
+    from repro.serving.fabric import build_fabric
+    from repro.serving.registry import ModelRegistry
+
+    sources = [load_model(path) for path in args.model or ()]
+    sources += [ModelRegistry(root) for root in args.registry or ()]
+    if not sources:
+        raise SystemExit(
+            "serve-fabric needs at least one --model / --registry"
+        )
+    n_shards = max(args.shards or 0, len(sources))
+    # Fewer sources than shards: replicate round-robin to fill the ring.
+    sources = [sources[i % len(sources)] for i in range(n_shards)]
+
+    evidence = _parse_assignments(args.observe) or None
+    fabric = build_fabric(
+        sources,
+        max_batch=args.max_batch,
+        max_wait_us=args.max_wait_us,
+        deadline_seconds=args.deadline,
+        rng=args.seed,
+    )
+    target = [args.target or fabric.router.shards[0].model.response]
+    tenants = [f"tenant-{i}" for i in range(args.tenants)]
+    burst = max(1, args.burst)
+
+    def worker(w: int) -> list:
+        rng = np.random.default_rng(args.seed + 1 + w)
+        n = args.queries // args.threads + (
+            1 if w < args.queries % args.threads else 0
+        )
+        lats, pending = [], []
+
+        def drain():
+            for t0, p in pending:
+                p.result(timeout=60.0)
+                lats.append(time.perf_counter() - t0)
+            pending.clear()
+
+        for _ in range(n):
+            tenant = tenants[int(rng.integers(len(tenants)))]
+            pending.append(
+                (time.perf_counter(), fabric.submit(tenant, target, evidence))
+            )
+            if len(pending) >= burst:
+                drain()
+        drain()
+        return lats
+
+    t_start = time.perf_counter()
+    try:
+        with ThreadPoolExecutor(args.threads) as ex:
+            lats = sorted(
+                x for chunk in ex.map(worker, range(args.threads))
+                for x in chunk
+            )
+    finally:
+        fabric.close()
+    elapsed = time.perf_counter() - t_start
+
+    def pct(q: float) -> float:
+        return lats[min(len(lats) - 1, int(q * len(lats)))] * 1e3
+
+    b = fabric.batcher
+    print(
+        f"shards={n_shards} tenants={len(tenants)} queries={len(lats)} "
+        f"threads={args.threads} burst={burst}"
+    )
+    print(
+        f"sustained: {len(lats) / elapsed:,.0f} qps over {elapsed:.2f}s  "
+        f"p50={pct(0.50):.2f}ms p95={pct(0.95):.2f}ms p99={pct(0.99):.2f}ms"
+    )
+    print(
+        f"coalesce: {b.coalesce_ratio:.2f} rows/flush "
+        f"({b.n_coalesced_rows} rows in {b.n_flushes} flushes, "
+        f"{b.n_bypass} bypassed to singles)"
+    )
+    print(f"{'tenant':<12s} {'shard':>5s} {'ok':>8s} {'shed':>6s} "
+          f"{'failed':>6s} {'breaker':>9s}")
+    snap = fabric.stats()
+    for name, t in snap["tenants"].items():
+        s = t["stats"]
+        print(
+            f"{name:<12s} {t['shard']:>5d} {s['n_ok']:>8d} "
+            f"{s['n_shed']:>6d} {s['n_failed']:>6d} "
+            f"{t['breaker_state']:>9s}"
+        )
+    return 0
+
+
 # --------------------------------------------------------------------- #
 # Parser wiring
 # --------------------------------------------------------------------- #
@@ -480,6 +577,32 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-query deadline in seconds")
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "serve-fabric",
+        help="sharded multi-tenant fabric: drive a batched load and "
+        "print qps / tail latency / coalesce ratio / tenant budgets",
+    )
+    p.add_argument("--model", action="append", metavar="BUNDLE",
+                   help="bundle file per shard (repeatable)")
+    p.add_argument("--registry", action="append", metavar="ROOT",
+                   help="registry root per shard (repeatable)")
+    p.add_argument("--shards", type=int, default=None,
+                   help="replicate the given sources round-robin up to "
+                   "N shards")
+    p.add_argument("--tenants", type=int, default=8)
+    p.add_argument("--queries", type=int, default=2000)
+    p.add_argument("--threads", type=int, default=4)
+    p.add_argument("--burst", type=int, default=16,
+                   help="pipelined submissions per caller before waiting")
+    p.add_argument("--max-batch", type=int, default=64)
+    p.add_argument("--max-wait-us", type=float, default=2000.0)
+    p.add_argument("--target", help="query variable (default: response)")
+    p.add_argument("--observe", action="append", metavar="NAME=VALUE",
+                   help="shared evidence for every query")
+    p.add_argument("--deadline", type=float, default=None)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=cmd_serve_fabric)
 
     return parser
 

@@ -6,7 +6,11 @@ query it: the versioned :class:`ModelRegistry`, the guarded
 deterministic :class:`CircuitBreaker` / :class:`AdmissionController`
 load protection, and the :class:`DataQualityGate` +
 :class:`AccuracyTripwire` pair that keep poisoned monitoring windows
-and regressed models out of production.
+and regressed models out of production.  On top of single servers, the
+:mod:`repro.serving.fabric` module scales out: a sharded multi-tenant
+:class:`ShardRouter` with per-tenant budgets and a thread-safe
+:class:`DynamicBatcher` that coalesces concurrent single queries into
+batched kernel calls.
 """
 
 from repro.serving.breaker import (
@@ -15,6 +19,15 @@ from repro.serving.breaker import (
     OPEN,
     AdmissionController,
     CircuitBreaker,
+)
+from repro.serving.fabric import (
+    DynamicBatcher,
+    PendingQuery,
+    ServingFabric,
+    ShardRouter,
+    TenantState,
+    build_fabric,
+    shard_index,
 )
 from repro.serving.fallback import (
     CHAIN,
@@ -45,6 +58,7 @@ from repro.serving.server import (
     STATUS_REJECTED,
     STATUS_SHED,
     TIER_ANALYTIC,
+    ColumnarBatchResult,
     ModelServer,
     QueryResult,
     ServerStats,
@@ -56,18 +70,23 @@ __all__ = [
     "CHAIN",
     "CLOSED",
     "CircuitBreaker",
+    "ColumnarBatchResult",
     "DataQualityGate",
+    "DynamicBatcher",
     "FallbackChain",
     "GuardedBatch",
     "HALF_OPEN",
     "ModelRegistry",
     "ModelServer",
     "OPEN",
+    "PendingQuery",
     "PublishOutcome",
     "QueryResult",
     "RowRejection",
     "SanitizedBatch",
     "ServerStats",
+    "ServingFabric",
+    "ShardRouter",
     "STATUS_FAILED",
     "STATUS_OK",
     "STATUS_REJECTED",
@@ -77,9 +96,12 @@ __all__ = [
     "TIER_PRIOR",
     "TIER_SAMPLING",
     "TIER_SWEEP",
+    "TenantState",
     "TierAnswer",
     "VersionInfo",
     "WindowVerdict",
+    "build_fabric",
     "check_row",
     "sanitize_rows",
+    "shard_index",
 ]

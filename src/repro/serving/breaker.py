@@ -10,10 +10,20 @@ Both mechanisms are *deterministic* so chaos tests replay exactly:
   recent overload fraction (deadline overruns, total failures) crosses a
   threshold, so overload degrades to a bounded, reproducible trickle of
   refusals instead of an unbounded queue.
+
+Both are **thread-safe**: every state transition happens under a
+per-instance lock, so the :class:`~repro.serving.fabric.DynamicBatcher`'s
+worker threads and concurrent single-query callers cannot corrupt
+breaker state or lose admission-window outcomes.  Under threads the
+*interleaving* of RNG draws depends on scheduling, so cross-thread runs
+are deterministic in their invariants (counts always balance) rather
+than in their exact shed pattern; single-threaded runs replay exactly
+as before.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import deque
 
 from repro.exceptions import ServingError
@@ -49,6 +59,7 @@ class CircuitBreaker:
         #: Label used in observability metric names (falls back to
         #: ``"breaker"`` for anonymous instances).
         self.name = str(name) if name is not None else "breaker"
+        self._lock = threading.Lock()
         self._state = CLOSED
         self._consecutive_failures = 0
         self._cooldown_remaining = 0
@@ -61,7 +72,8 @@ class CircuitBreaker:
 
     def _transition(self, new_state: str) -> None:
         """State change + observability: every transition is counted and
-        the per-breaker ``open`` gauge tracks 1 while not CLOSED."""
+        the per-breaker ``open`` gauge tracks 1 while not CLOSED.
+        Callers must hold ``self._lock``."""
         old, self._state = self._state, new_state
         if old != new_state and _OBS.enabled:
             m = _OBS.metrics
@@ -73,34 +85,37 @@ class CircuitBreaker:
 
     def allow(self) -> bool:
         """May the guarded backend be attempted right now?"""
-        if self._state == CLOSED:
-            return True
-        if self._state == OPEN:
-            if self._cooldown_remaining > 0:
-                self._cooldown_remaining -= 1
-                self.n_refused += 1
-                return False
-            self._transition(HALF_OPEN)
-            return True
-        # HALF_OPEN: exactly one probe is in flight per cooldown lapse;
-        # further callers wait for its outcome.
-        self.n_refused += 1
-        return False
+        with self._lock:
+            if self._state == CLOSED:
+                return True
+            if self._state == OPEN:
+                if self._cooldown_remaining > 0:
+                    self._cooldown_remaining -= 1
+                    self.n_refused += 1
+                    return False
+                self._transition(HALF_OPEN)
+                return True
+            # HALF_OPEN: exactly one probe is in flight per cooldown
+            # lapse; further callers wait for its outcome.
+            self.n_refused += 1
+            return False
 
     def record_success(self) -> None:
-        self._consecutive_failures = 0
-        self._transition(CLOSED)
+        with self._lock:
+            self._consecutive_failures = 0
+            self._transition(CLOSED)
 
     def record_failure(self) -> None:
-        self._consecutive_failures += 1
-        if (
-            self._state == HALF_OPEN
-            or self._consecutive_failures >= self.failure_threshold
-        ):
-            self._transition(OPEN)
-            self._cooldown_remaining = self.cooldown
-            self._consecutive_failures = 0
-            self.n_trips += 1
+        with self._lock:
+            self._consecutive_failures += 1
+            if (
+                self._state == HALF_OPEN
+                or self._consecutive_failures >= self.failure_threshold
+            ):
+                self._transition(OPEN)
+                self._cooldown_remaining = self.cooldown
+                self._consecutive_failures = 0
+                self.n_trips += 1
 
 
 class AdmissionController:
@@ -131,31 +146,43 @@ class AdmissionController:
         self.overload_threshold = float(overload_threshold)
         self.shed_fraction = float(shed_fraction)
         self.rng = ensure_rng(rng)
+        self._lock = threading.Lock()
         self._outcomes: deque = deque(maxlen=self.window)
         self.n_shed = 0
         self.n_admitted = 0
 
-    @property
-    def overload_fraction(self) -> float:
+    def _overload_fraction_locked(self) -> float:
         if not self._outcomes:
             return 0.0
         return sum(self._outcomes) / len(self._outcomes)
 
     @property
+    def overload_fraction(self) -> float:
+        with self._lock:
+            return self._overload_fraction_locked()
+
+    @property
     def overloaded(self) -> bool:
-        return (
-            len(self._outcomes) >= self.window
-            and self.overload_fraction >= self.overload_threshold
-        )
+        with self._lock:
+            return (
+                len(self._outcomes) >= self.window
+                and self._overload_fraction_locked() >= self.overload_threshold
+            )
 
     def admit(self) -> bool:
         """Admission decision for one incoming query."""
-        if self.overloaded and self.rng.random() < self.shed_fraction:
-            self.n_shed += 1
-            return False
-        self.n_admitted += 1
-        return True
+        with self._lock:
+            overloaded = (
+                len(self._outcomes) >= self.window
+                and self._overload_fraction_locked() >= self.overload_threshold
+            )
+            if overloaded and self.rng.random() < self.shed_fraction:
+                self.n_shed += 1
+                return False
+            self.n_admitted += 1
+            return True
 
     def record(self, overloaded: bool) -> None:
         """Report one completed query's overload signal."""
-        self._outcomes.append(bool(overloaded))
+        with self._lock:
+            self._outcomes.append(bool(overloaded))

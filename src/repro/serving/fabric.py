@@ -1,0 +1,704 @@
+"""Sharded multi-tenant serving fabric with dynamic batching.
+
+One :class:`~repro.serving.server.ModelServer` guards one model bundle;
+the paper's autonomic story ("millions of users", model queries *inside*
+the control loop) needs a front-end that hosts many scenarios/tenants at
+once and turns the engine's ~250× batched-inference advantage into
+real-traffic throughput.  This module is that front-end:
+
+- :class:`ShardRouter` — hosts N tenants over a fixed ring of
+  :class:`~repro.serving.server.ModelServer` shards.  The tenant→shard
+  mapping is **consistent** (a CRC32 of the tenant name modulo the shard
+  count — stable across processes and restarts, independent of
+  registration order).  Every tenant carries its own budget: a seeded
+  :class:`~repro.serving.breaker.AdmissionController` and a per-tenant
+  :class:`~repro.serving.breaker.CircuitBreaker`, plus a per-tenant
+  :class:`~repro.serving.server.ServerStats` rollup — one tenant's storm
+  or poisoned traffic is shed at *its* budget and never bleeds into its
+  neighbours' accounting.
+- :class:`DynamicBatcher` — a thread-safe request queue that coalesces
+  concurrent single ``query`` calls sharing an evidence signature (and
+  shard) into ``query_batch`` calls.  Buckets flush when they reach
+  ``max_batch`` rows or age past ``max_wait_us`` (deadline-aware: a
+  background flusher sweeps aged buckets so no caller waits longer than
+  roughly one flush interval).  When a shard's compiled batch tier is
+  tripped, the batcher **falls back to singles** — queueing behind a
+  broken kernel would only add latency to an already-degraded path.
+- :class:`ServingFabric` — the facade the CLI and the load harness
+  drive: single queries through the batcher, bulk columnar traffic
+  straight through the router's
+  :meth:`~repro.serving.server.ModelServer.query_batch_columns` lane.
+
+All fabric counters/gauges flow into :mod:`repro.obs` under the
+``fabric.*`` prefix (and therefore out of the Prometheus exporter):
+queue depth, batch occupancy, coalesced rows vs flushes (the coalesce
+ratio), single-path bypasses, and per-tenant shed counts; per-tenant
+breakers publish the standard ``serving.breaker.tenant.<name>.*``
+transition counters and ``open`` gauges.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import zlib
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+from repro.exceptions import ServingError
+from repro.obs.runtime import OBS as _OBS
+from repro.serving.breaker import CLOSED, AdmissionController, CircuitBreaker
+from repro.serving.fallback import TIER_COMPILED
+from repro.serving.server import (
+    STATUS_FAILED,
+    STATUS_SHED,
+    ColumnarBatchResult,
+    ModelServer,
+    QueryResult,
+    ServerStats,
+)
+
+
+def shard_index(tenant: str, n_shards: int) -> int:
+    """Consistent tenant→shard mapping: CRC32 mod shard count.
+
+    Stable across processes, restarts, and registration order — the
+    property that lets a fleet of routers agree on placement without
+    coordination.
+    """
+    if n_shards < 1:
+        raise ServingError("n_shards must be >= 1")
+    return zlib.crc32(str(tenant).encode("utf-8")) % n_shards
+
+
+@dataclass
+class TenantState:
+    """One tenant's budget and accounting inside the fabric."""
+
+    name: str
+    shard: int
+    admission: "AdmissionController | None"
+    breaker: CircuitBreaker
+    stats: ServerStats = field(default_factory=ServerStats)
+
+    def snapshot(self) -> dict:
+        info = {
+            "shard": self.shard,
+            "breaker_state": self.breaker.state,
+            "breaker_trips": self.breaker.n_trips,
+            "stats": self.stats.as_dict(),
+        }
+        if self.admission is not None:
+            info["admission"] = {
+                "overload_fraction": self.admission.overload_fraction,
+                "n_admitted": self.admission.n_admitted,
+                "n_shed": self.admission.n_shed,
+            }
+        return info
+
+
+class ShardRouter:
+    """Multi-tenant front door over a fixed ring of model servers.
+
+    Tenants are registered with :meth:`add_tenant` (or lazily on first
+    use when ``auto_register`` is on) and every query flows through
+    that tenant's budget *before* touching the shard:
+
+    1. the per-tenant circuit breaker (trips on sustained failures /
+       deadline overruns of this tenant's own traffic, so a tenant whose
+       queries keep failing stops burning shard capacity);
+    2. the per-tenant admission controller (seeded, deterministic
+       shedding once the tenant's recent overload fraction crosses its
+       threshold);
+    3. the shard's own :class:`ModelServer` guards (its admission,
+       per-tier breakers, fallback chain).
+
+    Every outcome is tallied in the tenant's own :class:`ServerStats`
+    rollup in addition to the shard server's stats.
+    """
+
+    def __init__(
+        self,
+        shards: "Sequence[ModelServer]",
+        *,
+        auto_register: bool = True,
+        tenant_budget: "Callable[[str], AdmissionController | None] | None" = None,
+        breaker_threshold: int = 5,
+        breaker_cooldown: int = 50,
+    ):
+        if not shards:
+            raise ServingError("ShardRouter needs at least one shard")
+        self.shards: tuple[ModelServer, ...] = tuple(shards)
+        self.auto_register = bool(auto_register)
+        self._tenant_budget = tenant_budget
+        self._breaker_threshold = int(breaker_threshold)
+        self._breaker_cooldown = int(breaker_cooldown)
+        self._tenants: dict[str, TenantState] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    # Tenant lifecycle
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    def tenants(self) -> "list[str]":
+        with self._lock:
+            return sorted(self._tenants)
+
+    def shard_of(self, tenant: str) -> int:
+        return shard_index(tenant, len(self.shards))
+
+    def server_for(self, tenant: str) -> ModelServer:
+        return self.shards[self.shard_of(tenant)]
+
+    def add_tenant(
+        self,
+        name: str,
+        *,
+        admission: "AdmissionController | None" = None,
+        breaker: "CircuitBreaker | None" = None,
+    ) -> TenantState:
+        """Register ``name`` with its budgets (idempotent per name)."""
+        name = str(name)
+        with self._lock:
+            state = self._tenants.get(name)
+            if state is not None:
+                return state
+            if admission is None and self._tenant_budget is not None:
+                admission = self._tenant_budget(name)
+            if breaker is None:
+                breaker = CircuitBreaker(
+                    self._breaker_threshold,
+                    self._breaker_cooldown,
+                    name=f"tenant.{name}",
+                )
+            state = TenantState(
+                name=name,
+                shard=self.shard_of(name),
+                admission=admission,
+                breaker=breaker,
+            )
+            self._tenants[name] = state
+            return state
+
+    def tenant_state(self, tenant: str) -> TenantState:
+        state = self._tenants.get(str(tenant))
+        if state is None:
+            if not self.auto_register:
+                raise ServingError(f"unknown tenant {tenant!r}")
+            state = self.add_tenant(tenant)
+        return state
+
+    # ------------------------------------------------------------------ #
+    # Budget gate
+    # ------------------------------------------------------------------ #
+
+    def _gate(self, state: TenantState) -> "QueryResult | None":
+        """Apply the tenant's breaker + admission; a result means shed."""
+        if not state.breaker.allow():
+            result = QueryResult(
+                status=STATUS_SHED,
+                reasons=(f"tenant {state.name!r} circuit open",),
+            )
+            state.stats._count(result)
+            self._tenant_shed(state, "breaker")
+            return result
+        if state.admission is not None and not state.admission.admit():
+            # The breaker probe above was spent on a query that never
+            # ran; report it as a non-failure so a half-open tenant is
+            # not re-tripped by its own admission shedding.
+            state.breaker.record_success()
+            result = QueryResult(
+                status=STATUS_SHED,
+                reasons=(f"tenant {state.name!r} admission: over budget",),
+            )
+            state.stats._count(result)
+            self._tenant_shed(state, "admission")
+            return result
+        return None
+
+    @staticmethod
+    def _tenant_shed(state: TenantState, why: str) -> None:
+        if _OBS.enabled:
+            m = _OBS.metrics
+            m.counter("fabric.tenant_shed").inc()
+            m.counter(f"fabric.tenant.{state.name}.shed_{why}").inc()
+
+    def _settle(self, state: TenantState, result: QueryResult) -> QueryResult:
+        """Tenant-side accounting for one completed query."""
+        overload = result.deadline_exceeded or result.status == STATUS_FAILED
+        if overload:
+            state.breaker.record_failure()
+        else:
+            state.breaker.record_success()
+        if state.admission is not None:
+            state.admission.record(overload)
+        state.stats._count(result)
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Query surface
+    # ------------------------------------------------------------------ #
+
+    def query(
+        self,
+        tenant: str,
+        variables: Sequence[str],
+        evidence: "Mapping | None" = None,
+        binned: bool = False,
+    ) -> QueryResult:
+        """One guarded query under ``tenant``'s budget."""
+        state = self.tenant_state(tenant)
+        shed = self._gate(state)
+        if shed is not None:
+            return shed
+        result = self.shards[state.shard].query(
+            variables, evidence, binned=binned
+        )
+        return self._settle(state, result)
+
+    def query_batch(
+        self,
+        tenant: str,
+        variables: Sequence[str],
+        rows: "Sequence[Mapping]",
+        binned: bool = False,
+    ) -> "list[QueryResult]":
+        """Row-wise guarded batch under ``tenant``'s budget."""
+        if not rows:
+            return []
+        state = self.tenant_state(tenant)
+        shed = self._gate(state)
+        if shed is not None:
+            out = []
+            for _ in range(len(rows) - 1):
+                extra = QueryResult(status=STATUS_SHED, reasons=shed.reasons)
+                state.stats._count(extra)
+                out.append(extra)
+            return [shed] + out
+        results = self.shards[state.shard].query_batch(
+            variables, rows, binned=binned
+        )
+        for r in results:
+            self._settle(state, r)
+        return results
+
+    def query_batch_columns(
+        self,
+        tenant: str,
+        variables: Sequence[str],
+        columns: "Mapping[str, Sequence[int]]",
+    ) -> ColumnarBatchResult:
+        """Columnar bulk lane under ``tenant``'s budget (binned states)."""
+        state = self.tenant_state(tenant)
+        shed = self._gate(state)
+        if shed is not None:
+            n_rows = 0
+            for col in columns.values():
+                n_rows = max(n_rows, len(col))
+            result = ColumnarBatchResult(
+                status=STATUS_SHED, n_rows=n_rows, reasons=shed.reasons
+            )
+            # _gate already counted one row; count the remainder so the
+            # tenant rollup stays row-equivalent.
+            if n_rows > 1:
+                remainder = ColumnarBatchResult(
+                    status=STATUS_SHED, n_rows=n_rows - 1
+                )
+                state.stats._count_columnar(remainder)
+            return result
+        result = self.shards[state.shard].query_batch_columns(
+            variables, columns
+        )
+        overload = result.deadline_exceeded or result.status == STATUS_FAILED
+        if overload:
+            state.breaker.record_failure()
+        else:
+            state.breaker.record_success()
+        if state.admission is not None:
+            state.admission.record(overload)
+        state.stats._count_columnar(result)
+        return result
+
+    # ------------------------------------------------------------------ #
+
+    def refresh(self) -> "list[int | None]":
+        """Follow each registry-backed shard's active version."""
+        return [shard.refresh() for shard in self.shards]
+
+    def stats(self) -> dict:
+        """Rollup: per-shard server stats + per-tenant budget state."""
+        with self._lock:
+            tenants = dict(self._tenants)
+        return {
+            "n_shards": len(self.shards),
+            "shards": [
+                {
+                    "stats": shard.stats.as_dict(),
+                    "version": shard.version,
+                    "breakers": {
+                        tier: b.state for tier, b in shard.breakers.items()
+                    },
+                }
+                for shard in self.shards
+            ],
+            "tenants": {
+                name: state.snapshot() for name, state in sorted(tenants.items())
+            },
+        }
+
+
+# --------------------------------------------------------------------- #
+# Dynamic batching
+# --------------------------------------------------------------------- #
+
+
+class PendingQuery:
+    """A submitted single query awaiting its coalesced batch."""
+
+    __slots__ = ("tenant", "evidence", "submitted_at", "_event", "_result")
+
+    def __init__(self, tenant: str, evidence: dict):
+        self.tenant = tenant
+        self.evidence = evidence
+        self.submitted_at = time.monotonic()
+        self._event = threading.Event()
+        self._result: "QueryResult | None" = None
+
+    def _resolve(self, result: QueryResult) -> None:
+        self._result = result
+        self._event.set()
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: "float | None" = None) -> QueryResult:
+        """Block until the coalesced batch answers (or ``timeout``)."""
+        if not self._event.wait(timeout):
+            raise ServingError(
+                f"pending query for tenant {self.tenant!r} timed out "
+                f"after {timeout}s"
+            )
+        assert self._result is not None
+        return self._result
+
+
+class _Bucket:
+    """Pending queries sharing (shard, variables, signature, binned)."""
+
+    __slots__ = ("key", "entries", "created_at")
+
+    def __init__(self, key: tuple):
+        self.key = key
+        self.entries: "list[PendingQuery]" = []
+        self.created_at = time.monotonic()
+
+
+class DynamicBatcher:
+    """Coalesce concurrent single queries into ``query_batch`` calls.
+
+    Callers :meth:`submit` (non-blocking, returns a
+    :class:`PendingQuery`) or :meth:`query` (submit + wait).  Requests
+    are bucketed by ``(shard, variables, evidence signature, binned)``
+    — the compiled batch signature — so one flush answers every waiter
+    with a single vectorized kernel pass.  Buckets flush when
+
+    - they reach ``max_batch`` rows (flushed inline on the submitting
+      thread: the batch is full, waiting buys nothing), or
+    - the background flusher finds them older than ``max_wait_us``
+      (deadline-aware: the oldest waiter bounds the sweep).
+
+    Tenant budgets are enforced at submit time (shed requests never
+    enqueue) and tenant accounting at completion time, so coalescing
+    *across* tenants on the same shard is safe: the rows share one
+    kernel call while each tenant's rollup sees exactly its own rows.
+
+    When the target shard's compiled batch tier is tripped, new
+    requests **bypass the queue** and run as singles through the
+    router — queueing behind a broken kernel would add wait latency to
+    an already-degraded path (``fabric.batcher.bypass`` counts these).
+    """
+
+    def __init__(
+        self,
+        router: ShardRouter,
+        *,
+        max_batch: int = 64,
+        max_wait_us: float = 2000.0,
+        binned: bool = False,
+    ):
+        if max_batch < 1:
+            raise ServingError("max_batch must be >= 1")
+        if max_wait_us <= 0:
+            raise ServingError("max_wait_us must be > 0")
+        self.router = router
+        self.max_batch = int(max_batch)
+        self.max_wait_s = float(max_wait_us) / 1e6
+        self.binned = bool(binned)
+        self._lock = threading.Lock()
+        self._buckets: "dict[tuple, _Bucket]" = {}
+        self._depth = 0
+        # Plain counters (readable without obs): flush accounting.
+        self.n_submitted = 0
+        self.n_flushes = 0
+        self.n_coalesced_rows = 0
+        self.n_bypass = 0
+        self._closed = False
+        self._flusher = threading.Thread(
+            target=self._flush_loop, name="fabric-batcher", daemon=True
+        )
+        self._flusher.start()
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def coalesce_ratio(self) -> float:
+        """Mean rows answered per kernel flush (>1 means coalescing)."""
+        return self.n_coalesced_rows / self.n_flushes if self.n_flushes else 0.0
+
+    @property
+    def queue_depth(self) -> int:
+        return self._depth
+
+    def submit(
+        self,
+        tenant: str,
+        variables: Sequence[str],
+        evidence: "Mapping | None" = None,
+        binned: "bool | None" = None,
+    ) -> PendingQuery:
+        """Enqueue one query; returns a handle to wait on.
+
+        Budget-shed and bypassed requests come back already resolved.
+        """
+        if self._closed:
+            raise ServingError("batcher is closed")
+        binned = self.binned if binned is None else bool(binned)
+        state = self.router.tenant_state(tenant)
+        evidence = dict(evidence or {})
+        pending = PendingQuery(str(tenant), evidence)
+        shed = self.router._gate(state)
+        if shed is not None:
+            pending._resolve(shed)
+            return pending
+        shard_server = self.router.shards[state.shard]
+        chain = shard_server.chain
+        if (
+            chain is None
+            or shard_server.breakers[TIER_COMPILED].state != CLOSED
+        ):
+            # Batch tier tripped (or non-discrete model): fall back to a
+            # single query now instead of queueing behind a broken tier.
+            self.n_bypass += 1
+            if _OBS.enabled:
+                _OBS.metrics.counter("fabric.batcher.bypass").inc()
+            result = shard_server.query(variables, evidence, binned=binned)
+            pending._resolve(self.router._settle(state, result))
+            return pending
+        key = (
+            state.shard,
+            tuple(map(str, variables)),
+            tuple(sorted(map(str, evidence))),
+            binned,
+        )
+        full: "_Bucket | None" = None
+        with self._lock:
+            bucket = self._buckets.get(key)
+            if bucket is None:
+                bucket = self._buckets[key] = _Bucket(key)
+            bucket.entries.append(pending)
+            self.n_submitted += 1
+            self._depth += 1
+            if len(bucket.entries) >= self.max_batch:
+                full = self._buckets.pop(key)
+        if _OBS.enabled:
+            _OBS.metrics.gauge("fabric.batcher.queue_depth").set(self._depth)
+        if full is not None:
+            self._flush_bucket(full)
+        return pending
+
+    def query(
+        self,
+        tenant: str,
+        variables: Sequence[str],
+        evidence: "Mapping | None" = None,
+        binned: "bool | None" = None,
+        timeout: "float | None" = None,
+    ) -> QueryResult:
+        """Submit and wait: a drop-in, coalescing ``router.query``."""
+        pending = self.submit(tenant, variables, evidence, binned=binned)
+        if timeout is None:
+            # Generous default: several flush intervals plus kernel time.
+            timeout = max(1.0, 50.0 * self.max_wait_s)
+        return pending.result(timeout)
+
+    def flush(self) -> int:
+        """Flush every pending bucket now; returns rows flushed."""
+        with self._lock:
+            buckets = list(self._buckets.values())
+            self._buckets.clear()
+        flushed = 0
+        for bucket in buckets:
+            flushed += len(bucket.entries)
+            self._flush_bucket(bucket)
+        return flushed
+
+    def close(self) -> None:
+        """Stop the flusher and drain everything still queued."""
+        self._closed = True
+        self.flush()
+
+    def __enter__(self) -> "DynamicBatcher":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+
+    def _flush_loop(self) -> None:
+        interval = max(self.max_wait_s / 2.0, 1e-4)
+        while not self._closed:
+            time.sleep(interval)
+            now = time.monotonic()
+            aged: "list[_Bucket]" = []
+            with self._lock:
+                for key in list(self._buckets):
+                    bucket = self._buckets[key]
+                    oldest = (
+                        bucket.entries[0].submitted_at
+                        if bucket.entries
+                        else bucket.created_at
+                    )
+                    if now - oldest >= self.max_wait_s:
+                        aged.append(self._buckets.pop(key))
+            for bucket in aged:
+                try:
+                    self._flush_bucket(bucket)
+                except Exception:  # pragma: no cover - defensive: resolve all
+                    continue
+
+    def _flush_bucket(self, bucket: _Bucket) -> None:
+        entries = bucket.entries
+        if not entries:
+            return
+        shard_idx, variables, _signature, binned = bucket.key
+        shard_server = self.router.shards[shard_idx]
+        with self._lock:
+            self._depth -= len(entries)
+            self.n_flushes += 1
+            self.n_coalesced_rows += len(entries)
+        if _OBS.enabled:
+            m = _OBS.metrics
+            m.counter("fabric.batcher.flushes").inc()
+            m.counter("fabric.batcher.coalesced_rows").inc(len(entries))
+            m.histogram(
+                "fabric.batcher.occupancy",
+                buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024),
+            ).observe(len(entries))
+            m.gauge("fabric.batcher.queue_depth").set(self._depth)
+        try:
+            results = shard_server.query_batch(
+                variables, [p.evidence for p in entries], binned=binned
+            )
+        except Exception as exc:  # defensive: waiters must always wake
+            error = f"{type(exc).__name__}: {exc}"
+            for pending in entries:
+                state = self.router.tenant_state(pending.tenant)
+                failed = QueryResult(
+                    status=STATUS_FAILED, tier_errors={"batcher": error}
+                )
+                pending._resolve(self.router._settle(state, failed))
+            return
+        for pending, result in zip(entries, results):
+            state = self.router.tenant_state(pending.tenant)
+            pending._resolve(self.router._settle(state, result))
+
+
+# --------------------------------------------------------------------- #
+# Facade
+# --------------------------------------------------------------------- #
+
+
+class ServingFabric:
+    """Router + batcher, bundled for the CLI and the load harness."""
+
+    def __init__(
+        self,
+        shards: "Sequence[ModelServer]",
+        *,
+        max_batch: int = 64,
+        max_wait_us: float = 2000.0,
+        binned: bool = False,
+        auto_register: bool = True,
+        tenant_budget: "Callable[[str], AdmissionController | None] | None" = None,
+        breaker_threshold: int = 5,
+        breaker_cooldown: int = 50,
+    ):
+        self.router = ShardRouter(
+            shards,
+            auto_register=auto_register,
+            tenant_budget=tenant_budget,
+            breaker_threshold=breaker_threshold,
+            breaker_cooldown=breaker_cooldown,
+        )
+        self.batcher = DynamicBatcher(
+            self.router,
+            max_batch=max_batch,
+            max_wait_us=max_wait_us,
+            binned=binned,
+        )
+
+    # Single queries coalesce through the batcher.
+    def query(self, tenant, variables, evidence=None, binned=None, timeout=None):
+        return self.batcher.query(
+            tenant, variables, evidence, binned=binned, timeout=timeout
+        )
+
+    def submit(self, tenant, variables, evidence=None, binned=None):
+        return self.batcher.submit(tenant, variables, evidence, binned=binned)
+
+    # Bulk traffic goes straight through the router.
+    def query_batch(self, tenant, variables, rows, binned=False):
+        return self.router.query_batch(tenant, variables, rows, binned=binned)
+
+    def query_batch_columns(self, tenant, variables, columns):
+        return self.router.query_batch_columns(tenant, variables, columns)
+
+    def add_tenant(self, name, **kwargs):
+        return self.router.add_tenant(name, **kwargs)
+
+    def stats(self) -> dict:
+        out = self.router.stats()
+        out["batcher"] = {
+            "submitted": self.batcher.n_submitted,
+            "flushes": self.batcher.n_flushes,
+            "coalesced_rows": self.batcher.n_coalesced_rows,
+            "coalesce_ratio": self.batcher.coalesce_ratio,
+            "bypass": self.batcher.n_bypass,
+            "queue_depth": self.batcher.queue_depth,
+        }
+        return out
+
+    def close(self) -> None:
+        self.batcher.close()
+
+    def __enter__(self) -> "ServingFabric":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def build_fabric(sources: Sequence, **kwargs) -> ServingFabric:
+    """One shard per source (a model object or a ``ModelRegistry``)."""
+    server_kwargs = {
+        k: kwargs.pop(k)
+        for k in ("deadline_seconds", "n_fallback_samples", "rng")
+        if k in kwargs
+    }
+    shards = [ModelServer(source, **server_kwargs) for source in sources]
+    return ServingFabric(shards, **kwargs)

@@ -23,6 +23,7 @@ rollback propagates to the serving path.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
@@ -72,8 +73,36 @@ class QueryResult:
 
 
 @dataclass
+class ColumnarBatchResult:
+    """Outcome of one :meth:`ModelServer.query_batch_columns` call.
+
+    The columnar fast path answers N same-signature rows with one
+    vectorized kernel call and O(1) Python objects, so the result is a
+    single batch-level record instead of N :class:`QueryResult`\\ s:
+    ``pmfs[j]`` answers the j-th *valid* row; ``valid`` is a boolean
+    mask over the input rows (``None`` means every row was valid).
+    """
+
+    status: str
+    n_rows: int
+    pmfs: "np.ndarray | None" = None
+    valid: "np.ndarray | None" = None     # bool mask; None == all valid
+    n_valid: int = 0
+    tier: "str | None" = None
+    reasons: tuple = ()
+    tier_errors: dict = field(default_factory=dict)
+    elapsed_seconds: float = 0.0
+    deadline_exceeded: bool = False
+    approximate: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
+
+
+@dataclass
 class ServerStats:
-    """Monotonic counters over the server's lifetime."""
+    """Monotonic counters over the server's lifetime (thread-safe)."""
 
     n_queries: int = 0
     n_ok: int = 0
@@ -83,25 +112,93 @@ class ServerStats:
     n_deadline_exceeded: int = 0
     n_rows_rejected: int = 0
     tier_counts: dict = field(default_factory=dict)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def _count(self, result: QueryResult) -> None:
-        self.n_queries += 1
-        if result.status == STATUS_OK:
-            self.n_ok += 1
-            if result.tier is not None:
-                self.tier_counts[result.tier] = (
-                    self.tier_counts.get(result.tier, 0) + 1
-                )
-        elif result.status == STATUS_REJECTED:
-            self.n_rejected += 1
-        elif result.status == STATUS_SHED:
-            self.n_shed += 1
-        else:
-            self.n_failed += 1
-        if result.deadline_exceeded:
-            self.n_deadline_exceeded += 1
+        with self._lock:
+            self.n_queries += 1
+            if result.status == STATUS_OK:
+                self.n_ok += 1
+                if result.tier is not None:
+                    self.tier_counts[result.tier] = (
+                        self.tier_counts.get(result.tier, 0) + 1
+                    )
+            elif result.status == STATUS_REJECTED:
+                self.n_rejected += 1
+            elif result.status == STATUS_SHED:
+                self.n_shed += 1
+            else:
+                self.n_failed += 1
+            if result.deadline_exceeded:
+                self.n_deadline_exceeded += 1
         if _OBS.enabled:
             self._record_obs(result)
+
+    def count_rows_rejected(self, n: int) -> None:
+        with self._lock:
+            self.n_rows_rejected += int(n)
+
+    def _count_columnar(self, result: ColumnarBatchResult) -> None:
+        """Bulk accounting for one columnar batch: each input row counts
+        exactly like one query through the row-wise path."""
+        n = result.n_rows
+        n_invalid = n - result.n_valid if result.status == STATUS_OK else 0
+        with self._lock:
+            self.n_queries += n
+            if result.status == STATUS_OK:
+                self.n_ok += result.n_valid
+                self.n_rejected += n_invalid
+                self.n_rows_rejected += n_invalid
+                if result.tier is not None and result.n_valid:
+                    self.tier_counts[result.tier] = (
+                        self.tier_counts.get(result.tier, 0) + result.n_valid
+                    )
+            elif result.status == STATUS_REJECTED:
+                self.n_rejected += n
+            elif result.status == STATUS_SHED:
+                self.n_shed += n
+            else:
+                self.n_failed += n
+            if result.deadline_exceeded:
+                self.n_deadline_exceeded += n
+        if _OBS.enabled:
+            m = _OBS.metrics
+            m.counter("serving.queries").inc(n)
+            if result.status == STATUS_OK:
+                m.counter(f"serving.status.{STATUS_OK}").inc(result.n_valid)
+                if n_invalid:
+                    m.counter(f"serving.status.{STATUS_REJECTED}").inc(
+                        n_invalid
+                    )
+                    m.counter("serving.rows_rejected").inc(n_invalid)
+                if result.tier is not None and result.n_valid:
+                    m.counter(f"serving.tier.{result.tier}").inc(
+                        result.n_valid
+                    )
+            else:
+                m.counter(f"serving.status.{result.status}").inc(n)
+            if result.deadline_exceeded:
+                m.counter("serving.deadline_misses").inc(n)
+            if result.elapsed_seconds:
+                m.histogram("serving.query.seconds").observe(
+                    result.elapsed_seconds
+                )
+
+    def as_dict(self) -> dict:
+        """Consistent point-in-time snapshot of every counter."""
+        with self._lock:
+            return {
+                "n_queries": self.n_queries,
+                "n_ok": self.n_ok,
+                "n_rejected": self.n_rejected,
+                "n_shed": self.n_shed,
+                "n_failed": self.n_failed,
+                "n_deadline_exceeded": self.n_deadline_exceeded,
+                "n_rows_rejected": self.n_rows_rejected,
+                "tier_counts": dict(self.tier_counts),
+            }
 
     def _record_obs(self, result: QueryResult) -> None:
         """Mirror one outcome into the process metrics registry — the
@@ -153,6 +250,7 @@ class ModelServer:
         self._version: "int | None" = None
         self._chain: "FallbackChain | None" = None
         self._assessor = None
+        self._model_lock = threading.Lock()
         if isinstance(source, ModelRegistry):
             self._registry = source
             self.refresh()
@@ -191,18 +289,23 @@ class ModelServer:
     def _set_model(self, model, version: "int | None") -> None:
         if model is None:
             raise ServingError("ModelServer needs a model to serve")
-        self._model = model
-        self._version = version
-        self._assessor = None
+        # Build the new chain before swapping, then publish model + chain
+        # under the lock so a concurrent query never observes a model
+        # paired with the previous model's chain.
         if isinstance(model.network, DiscreteBayesianNetwork):
-            self._chain = FallbackChain(
+            chain = FallbackChain(
                 model.network,
                 rng=self.rng,
                 n_samples=self.n_fallback_samples,
                 breakers=self.breakers,
             )
         else:
-            self._chain = None
+            chain = None
+        with self._model_lock:
+            self._model = model
+            self._version = version
+            self._assessor = None
+            self._chain = chain
 
     @property
     def chain(self) -> "FallbackChain | None":
@@ -342,30 +445,62 @@ class ModelServer:
         rows are answered; clean rows sharing an evidence signature go
         through the engine's vectorized batch kernel when it is healthy,
         and degrade row-by-row through the chain when it is not.
+
+        Accounting is row-equivalent to the single-query path: every
+        row is finished through :meth:`_finish`, so each gets its own
+        (distinct) result object with ``elapsed_seconds`` set, each is
+        tallied once in :class:`ServerStats`, and each feeds one
+        :meth:`AdmissionController.record` outcome — a batch of N rows
+        updates stats and admission exactly like N ``query`` calls.
         """
         started = time.monotonic()
-        shed = self._admit(started)
-        if shed is not None:
-            return [shed] * len(rows)
+        rows = list(rows)
+        results: "list[QueryResult | None]" = [None] * len(rows)
+        # Per-row admission, mirroring the single-query path: each shed
+        # row is a *distinct* result counted once (never N aliases of
+        # one mutable QueryResult counted once total).
+        if self.admission is not None:
+            admitted = []
+            for i in range(len(rows)):
+                if self.admission.admit():
+                    admitted.append(i)
+                else:
+                    results[i] = self._finish(
+                        QueryResult(
+                            status=STATUS_SHED,
+                            reasons=(
+                                "admission control: server overloaded",
+                            ),
+                        ),
+                        started,
+                    )
+        else:
+            admitted = list(range(len(rows)))
+        if not admitted:
+            return [r for r in results if r is not None]
         unsupported = self._discrete_only("query_batch", binned)
         if unsupported:
-            return [self._reject(unsupported, started) for _ in rows]
+            for i in admitted:
+                results[i] = self._reject(unsupported, started)
+            return [r for r in results if r is not None]
         sanitized = sanitize_rows(
-            rows,
+            [rows[i] for i in admitted],
             known=self._known(),
             cards=self._cards(),
             forbid=set(map(str, variables)),
             binned=binned,
         )
-        self.stats.n_rows_rejected += sanitized.n_rejected
+        self.stats.count_rows_rejected(sanitized.n_rejected)
         if _OBS.enabled and sanitized.n_rejected:
             _OBS.metrics.counter("serving.rows_rejected").inc(
                 sanitized.n_rejected
             )
-        results: "list[QueryResult | None]" = [None] * len(rows)
+        # Per-row rejections go through the same finishing path as the
+        # single-query `_reject`: elapsed_seconds is stamped, the row is
+        # tallied, and the admission controller sees the outcome.
         for rejection in sanitized.rejections:
-            results[rejection.index] = QueryResult(
-                status=STATUS_REJECTED, reasons=rejection.reasons
+            results[admitted[rejection.index]] = self._reject(
+                rejection.reasons, started
             )
         deadline = self._deadline()
         # Group accepted rows by evidence signature — that *is* the
@@ -379,18 +514,172 @@ class ModelServer:
             ]
             answers = self._batch_group(variables, state_rows, deadline)
             for j, answer in zip(members, answers):
-                results[sanitized.kept_indices[j]] = answer
+                results[admitted[sanitized.kept_indices[j]]] = self._finish(
+                    answer, started
+                )
         out = []
         for r in results:
             assert r is not None
-            self.stats._count(r)
             out.append(r)
-        if self.admission is not None:
-            overloaded = any(
-                r.deadline_exceeded or r.status == STATUS_FAILED for r in out
-            )
-            self.admission.record(overloaded)
         return out
+
+    def query_batch_columns(
+        self,
+        variables: Sequence[str],
+        columns: "Mapping[str, Sequence[int]]",
+    ) -> ColumnarBatchResult:
+        """Columnar fast path: N binned same-signature rows, O(1) objects.
+
+        ``columns`` maps variable → integer bin-state column (all the
+        same length).  Validation is vectorized (per-column bounds
+        checks instead of per-row dict sweeps) and the answer is one
+        :class:`ColumnarBatchResult` instead of N ``QueryResult``\\ s,
+        so the guarded overhead stays within a small constant factor of
+        the raw engine kernel — this is the path the serving fabric's
+        bulk lane and the load harness drive.
+
+        Rows with out-of-range states are rejected via the ``valid``
+        mask while the clean rows still answer.  Engine faults degrade
+        through the row-wise chain exactly like :meth:`query_batch`.
+        Accounting is bulk but row-equivalent: each input row counts as
+        one query in :class:`ServerStats`; admission is one decision
+        and one recorded outcome per *call* (documented deviation — the
+        whole batch is admitted or shed as a unit).
+        """
+        started = time.monotonic()
+        n_rows = 0
+        cols: dict[str, np.ndarray] = {}
+        bad_cols: list[str] = []
+        cards = self._cards()
+        for v, col in columns.items():
+            v = str(v)
+            arr = np.asarray(col)
+            if arr.dtype.kind not in "iu":
+                bad_cols.append(f"column {v!r} is not integer-typed")
+                continue
+            arr = arr.reshape(-1)
+            cols[v] = arr
+            n_rows = max(n_rows, arr.size)
+        if self.admission is not None and not self.admission.admit():
+            result = ColumnarBatchResult(
+                status=STATUS_SHED,
+                n_rows=n_rows,
+                reasons=("admission control: server overloaded",),
+                elapsed_seconds=time.monotonic() - started,
+            )
+            self.stats._count_columnar(result)
+            return result
+
+        def _rejected(reasons: tuple) -> ColumnarBatchResult:
+            result = ColumnarBatchResult(
+                status=STATUS_REJECTED,
+                n_rows=n_rows,
+                reasons=reasons,
+                elapsed_seconds=time.monotonic() - started,
+            )
+            self.stats._count_columnar(result)
+            if self.admission is not None:
+                self.admission.record(False)
+            return result
+
+        unsupported = self._discrete_only("query_batch", binned=True)
+        if unsupported:
+            return _rejected(unsupported)
+        reasons = list(bad_cols)
+        variables = tuple(map(str, variables))
+        known = self._known()
+        for v in variables:
+            if v not in known:
+                reasons.append(f"unknown query variable {v!r}")
+            elif v in cols:
+                reasons.append(f"variable {v!r} may not appear in evidence")
+        for v in cols:
+            if v not in known:
+                reasons.append(f"unknown variable {v!r}")
+        if not variables:
+            reasons.append("need at least one query variable")
+        if not cols and not reasons:
+            reasons.append("empty evidence columns")
+        if any(c.size != n_rows for c in cols.values()):
+            reasons.append(
+                "evidence columns have mismatched lengths "
+                f"{ {v: c.size for v, c in cols.items()} }"
+            )
+        if reasons:
+            return _rejected(tuple(reasons))
+        # Vectorized per-row domain check — the columnar analogue of
+        # check_row's bin-range validation.
+        valid = np.ones(n_rows, dtype=bool)
+        for v, col in cols.items():
+            valid &= (col >= 0) & (col < cards[v])
+        n_valid = int(np.count_nonzero(valid))
+        if n_valid == 0:
+            return _rejected(("every row has out-of-range bin states",))
+        if n_valid < n_rows:
+            run_cols = {v: np.ascontiguousarray(c[valid]) for v, c in cols.items()}
+        else:
+            run_cols = cols
+        deadline = self._deadline()
+        breaker = self.breakers[TIER_COMPILED]
+        result: "ColumnarBatchResult | None" = None
+        if (
+            deadline is None or time.monotonic() <= deadline
+        ) and breaker.allow():
+            try:
+                pmfs = self._chain.engine.query_batch(variables, run_cols)
+            except Exception as exc:
+                breaker.record_failure()
+                tier_errors = {TIER_COMPILED: f"{type(exc).__name__}: {exc}"}
+            else:
+                breaker.record_success()
+                result = ColumnarBatchResult(
+                    status=STATUS_OK,
+                    n_rows=n_rows,
+                    pmfs=pmfs,
+                    valid=None if n_valid == n_rows else valid,
+                    n_valid=n_valid,
+                    tier=TIER_COMPILED,
+                )
+        else:
+            tier_errors = {TIER_COMPILED: "circuit open"}
+        if result is None:
+            # Degraded: replay the valid rows through the row-wise chain
+            # (same fallback semantics as query_batch's slow path).
+            state_rows = [
+                {v: int(run_cols[v][j]) for v in run_cols}
+                for j in range(n_valid)
+            ]
+            answers = self._batch_group(variables, state_rows, deadline)
+            if all(a.status == STATUS_OK for a in answers):
+                result = ColumnarBatchResult(
+                    status=STATUS_OK,
+                    n_rows=n_rows,
+                    pmfs=np.stack([np.asarray(a.value) for a in answers]),
+                    valid=None if n_valid == n_rows else valid,
+                    n_valid=n_valid,
+                    tier=answers[0].tier if answers else None,
+                    tier_errors=dict(tier_errors),
+                    deadline_exceeded=any(
+                        a.deadline_exceeded for a in answers
+                    ),
+                    approximate=any(a.approximate for a in answers),
+                )
+            else:
+                errors = dict(tier_errors)
+                for a in answers:
+                    errors.update(a.tier_errors)
+                result = ColumnarBatchResult(
+                    status=STATUS_FAILED,
+                    n_rows=n_rows,
+                    tier_errors=errors,
+                )
+        result.elapsed_seconds = time.monotonic() - started
+        self.stats._count_columnar(result)
+        if self.admission is not None:
+            self.admission.record(
+                result.deadline_exceeded or result.status == STATUS_FAILED
+            )
+        return result
 
     def _batch_group(
         self, variables, state_rows, deadline

@@ -186,3 +186,58 @@ def test_matrix_cells_gate_per_cell():
     failures, _ = gate.compare(base, slow_qps, absolute=True)
     assert len(failures) == 1
     assert "bins3_width6" in failures[0]
+
+
+SERVING_BASELINE = {
+    "coalesce": {
+        "ratio": 30.0,
+        "sustained_qps": 20000.0,
+        "p95_seconds": 0.012,
+        "p99_seconds": 0.034,
+    },
+    "batched": {
+        "fabric_over_kernel": 0.85,
+        "fabric_rows_per_s": 8_000_000.0,
+    },
+}
+
+
+def test_serving_suite_floors_the_ratios():
+    """Coalesce ratio and fabric/kernel fraction are higher-is-better."""
+    worse = copy.deepcopy(SERVING_BASELINE)
+    worse["coalesce"]["ratio"] = 1.5          # batching stopped coalescing
+    worse["batched"]["fabric_over_kernel"] = 0.1  # guards got expensive
+    failures, _ = gate.compare(SERVING_BASELINE, worse, suite="serving")
+    assert len(failures) == 2
+    assert any("ratio" in f for f in failures)
+    assert any("fabric_over_kernel" in f for f in failures)
+
+    better = copy.deepcopy(SERVING_BASELINE)
+    better["coalesce"]["ratio"] *= 2.0
+    failures, _ = gate.compare(SERVING_BASELINE, better, suite="serving")
+    assert failures == []
+
+
+def test_serving_suite_absolute_gates_qps_and_tail_latency():
+    slow = copy.deepcopy(SERVING_BASELINE)
+    slow["coalesce"]["sustained_qps"] /= 3.0
+    slow["coalesce"]["p99_seconds"] *= 3.0
+    # Machine-dependent numbers are ignored without --absolute.
+    failures, _ = gate.compare(SERVING_BASELINE, slow, suite="serving")
+    assert failures == []
+    failures, _ = gate.compare(
+        SERVING_BASELINE, slow, suite="serving", absolute=True
+    )
+    assert len(failures) == 2
+    assert any("sustained_qps" in f for f in failures)
+    assert any("p99_seconds" in f for f in failures)
+
+
+def test_gate_accepts_the_committed_serving_baseline():
+    """The real BENCH_serving.json must satisfy the serving suite."""
+    committed = _GATE.parent.parent / "BENCH_serving.json"
+    payload = json.loads(committed.read_text())
+    failures, _ = gate.compare(
+        payload, payload, suite="serving", absolute=True
+    )
+    assert failures == []
