@@ -80,6 +80,28 @@ def _time_batch(engine, target, rows, repeats=5):
     return best
 
 
+def _time_batch_paired(engine, target, rows, repeats=7):
+    """Best-of-N disabled and enabled timings, interleaved.
+
+    Timing the two modes in separate blocks lets machine drift (cpufreq
+    transitions, a background process) land entirely on one side and
+    produce a physically impossible sub-1.0 enabled/disabled ratio.
+    Alternating disabled/enabled within each repeat exposes both modes
+    to the same drift, and best-of-N discards the outliers.
+    """
+    disabled = enabled = float("inf")
+    for _ in range(repeats):
+        runtime.OBS.enabled = False
+        t0 = time.perf_counter()
+        engine.query_batch(target, rows)
+        disabled = min(disabled, time.perf_counter() - t0)
+        obs.enable()
+        t0 = time.perf_counter()
+        engine.query_batch(target, rows)
+        enabled = min(enabled, time.perf_counter() - t0)
+    return disabled, enabled
+
+
 def test_disabled_guard_cost_under_5_percent(batch_setup):
     engine, target, rows = batch_setup
     was_enabled = runtime.OBS.enabled
@@ -117,17 +139,18 @@ def test_enabled_mode_stays_in_the_same_ballpark(batch_setup):
     engine, target, rows = batch_setup
     was_enabled = runtime.OBS.enabled
     try:
-        runtime.OBS.enabled = False
-        disabled = _time_batch(engine, target, rows)
-        obs.enable()
-        enabled = _time_batch(engine, target, rows)
+        disabled, enabled = _time_batch_paired(engine, target, rows)
     finally:
         obs.reset()
         runtime.OBS.enabled = was_enabled
+    # Enabled mode does strictly more work, so any measured ratio below
+    # 1.0 is timing noise; clamp it so a noisy run can never persist a
+    # sub-1.0 baseline that the one-sided regression gate (ceiling =
+    # baseline * 1.3) would turn into guaranteed CI failures.
     _BENCH_SECTIONS["overhead"] = {
         "disabled_batch_seconds": disabled,
         "enabled_batch_seconds": enabled,
-        "enabled_over_disabled_ratio": enabled / disabled,
+        "enabled_over_disabled_ratio": max(enabled / disabled, 1.0),
     }
     assert enabled < disabled * 1.5, (
         f"enabled obs slowed query_batch {enabled / disabled:.2f}x "
