@@ -15,7 +15,10 @@ Two benchmark payloads are guarded:
   gate keeps the dynamic batcher's coalesce ratio and the guarded
   columnar path's fraction-of-raw-kernel throughput from eroding, and —
   with ``--absolute`` — floors sustained qps and ceilings p95/p99 tail
-  latency.
+  latency.  Once the baseline carries the replicated-fabric ``degraded``
+  section, blackout availability is floored (relative to baseline *and*
+  a hard 0.99 contract) and degraded tail latency is ceilinged under
+  ``--absolute``.
 
 Each guarded metric has a *direction*: for higher-is-better metrics
 (speedup ratios) the gate fails when ``fresh < baseline * (1 -
@@ -61,9 +64,9 @@ ABSOLUTE_METRICS: Tuple[Tuple[str, str, str], ...] = (
     ("batched", "batched_qps", "batched rows/sec"),
 )
 
-#: Inference metrics gated only when the *baseline* already carries them,
-#: so older payloads (and minimal test fixtures) stay valid.  Sections
-#: may be dotted paths (``matrix.bins3_width6``).
+#: Metrics gated only when the *baseline* already carries them, so older
+#: payloads (and minimal test fixtures) stay valid.  Sections may be
+#: dotted paths (``matrix.bins3_width6``).
 OPTIONAL_RATIO_METRICS: Tuple[Tuple[str, str, str], ...] = (
     (
         "jtree",
@@ -80,10 +83,15 @@ OPTIONAL_RATIO_METRICS: Tuple[Tuple[str, str, str], ...] = (
 #: Per-suite guarded metrics.  ``lower`` entries are higher-is-better
 #: (gate on a floor); ``upper`` entries are lower-is-better (gate on a
 #: ceiling).  ``*_absolute`` entries only apply with ``--absolute``.
+#: ``optional_*`` entries only gate once the baseline carries them.
+#: ``hard_floors`` entries are ``(section, key, label, floor)``
+#: absolute constants checked against the *fresh* payload alone —
+#: availability-style contracts that no baseline drift may relax.
 SUITES = {
     "inference": {
         "lower": RATIO_METRICS,
         "lower_absolute": ABSOLUTE_METRICS,
+        "optional_lower": OPTIONAL_RATIO_METRICS,
         "upper": (),
         "upper_absolute": (),
     },
@@ -120,6 +128,29 @@ SUITES = {
         "upper_absolute": (
             ("coalesce", "p95_seconds", "p95 single-query latency (s)"),
             ("coalesce", "p99_seconds", "p99 single-query latency (s)"),
+        ),
+        # Degraded-mode (single-replica blackout) metrics gate once the
+        # baseline records them, so pre-replication payloads stay valid.
+        "optional_lower": (
+            ("degraded", "availability", "degraded-mode availability"),
+        ),
+        "optional_upper_absolute": (
+            ("degraded", "p99_seconds", "degraded p99 latency (s)"),
+            (
+                "degraded",
+                "p99_over_healthy",
+                "degraded/healthy p99 inflation",
+            ),
+        ),
+        # Absolute contract, independent of any baseline: ≥99% of
+        # queries must survive a single-replica blackout.
+        "hard_floors": (
+            (
+                "degraded",
+                "availability",
+                "availability floor under blackout",
+                0.99,
+            ),
         ),
     },
 }
@@ -171,11 +202,18 @@ def compare(
     spec = SUITES[suite]
     lower = spec["lower"] + (spec["lower_absolute"] if absolute else ())
     upper = spec["upper"] + (spec["upper_absolute"] if absolute else ())
-    if suite == "inference":
-        # Optional sections ride along once the baseline carries them.
-        for section, key, label in OPTIONAL_RATIO_METRICS:
+    # Optional metrics ride along once the baseline carries them.
+    for section, key, label in spec.get("optional_lower", ()):
+        if _has(baseline, section, key):
+            lower += ((section, key, label),)
+    for section, key, label in spec.get("optional_upper", ()):
+        if _has(baseline, section, key):
+            upper += ((section, key, label),)
+    if absolute:
+        for section, key, label in spec.get("optional_upper_absolute", ()):
             if _has(baseline, section, key):
-                lower += ((section, key, label),)
+                upper += ((section, key, label),)
+    if suite == "inference":
         # The perf matrix gates every cell the baseline records, so the
         # speedup floor is not overfit to the canned eDiaMoND net.
         cells = baseline.get("matrix")
@@ -219,6 +257,28 @@ def compare(
             report.append(line)
             if not ok:
                 failures.append(line)
+    # Hard floors: absolute contracts checked against the fresh payload
+    # alone — a slipping baseline can never relax them.  Skipped while
+    # the metric is absent from both payloads (pre-replication schema);
+    # dropping a metric the baseline still carries is a schema error.
+    for section, key, label, floor in spec.get("hard_floors", ()):
+        if not _has(fresh, section, key):
+            if _has(baseline, section, key):
+                raise SystemExit(
+                    f"fresh payload dropped {section}.{key}, which the "
+                    f"baseline still carries — was the degraded-mode "
+                    f"benchmark skipped?"
+                )
+            continue
+        new = extract(fresh, section, key)
+        ok = new >= floor
+        line = (
+            f"{'ok  ' if ok else 'FAIL'} {label} ({section}.{key}): "
+            f"fresh={new:.4g} hard-floor={floor:.4g}"
+        )
+        report.append(line)
+        if not ok:
+            failures.append(line)
     return failures, report
 
 

@@ -13,7 +13,12 @@ KERT-BN:
   against the raw ``engine.query_batch`` kernel on the *same* chunks;
   the fully-guarded fabric path must stay within 5× of the bare kernel.
 
-Together the segments push ≥1M queries.  Results land in
+- **degraded segment** — the fabric rebuilt with ``n_replicas=2`` and
+  hedging, driven through a healthy / seeded-single-replica-blackout /
+  recovery timeline; records ``availability`` (floored at an absolute
+  0.99 by the gate), degraded p99, and probe-driven readmission time.
+
+Together the first two segments push ≥1M queries.  Results land in
 ``BENCH_serving.json`` (repo root + ``benchmarks/results/``), gated by
 ``benchmarks/check_regression.py --suite serving``.
 """
@@ -30,6 +35,7 @@ from _util import RESULTS_DIR, emit_series
 
 from repro.core.kertbn import build_discrete_kertbn
 from repro.serving.fabric import build_fabric
+from repro.serving.faults import ReplicaFaultInjector
 from repro.serving.registry import ModelRegistry
 from repro.simulator.scenarios.ediamond import ediamond_scenario
 
@@ -240,6 +246,130 @@ def test_serving_fabric_throughput(shard_registries, benchmark):
     # Representative unit for pytest-benchmark's own tracking.
     benchmark(
         fabric.router.shards[0].query_batch_columns, [TARGET], chunks[0]
+    )
+
+
+N_DEGRADED_SEGMENT = 24_000
+N_RECOVERY_SEGMENT = 12_000
+READMIT_DEADLINE_S = 20.0
+
+
+def test_serving_fabric_degraded_blackout(shard_registries):
+    """Degraded-mode section of the load harness: replicated shards under
+    a seeded single-replica blackout.
+
+    Timeline — healthy segment, blackout replica 0 of shard 0, degraded
+    segment under failover + hedging, lift the fault, poll probe-driven
+    readmission, recovery segment.  Records ``availability`` (non-failed
+    fraction while degraded) and ``degraded`` p99 into
+    ``BENCH_serving.json`` for the regression gate.
+    """
+    registries, model = shard_registries
+    fabric = build_fabric(
+        registries,
+        n_replicas=2,
+        hedge=True,
+        probe_interval_s=0.05,
+        max_batch=MAX_BATCH,
+        max_wait_us=MAX_WAIT_US,
+        rng=0,
+    )
+    tenants = [f"tenant-{i}" for i in range(N_TENANTS)]
+    evidence = {"X1": 1, "X2": 2}
+    group = fabric.router.shards[0]
+
+    def segment(n: int, seed: int):
+        """Drive n bursty batched queries; return (sorted lats, statuses)."""
+
+        def worker(w: int):
+            rng = np.random.default_rng(seed + w)
+            lats, statuses, pending = [], [], []
+            for _ in range(n // N_THREADS):
+                tenant = tenants[int(rng.integers(N_TENANTS))]
+                pending.append(
+                    (
+                        time.perf_counter(),
+                        fabric.submit(tenant, [TARGET], evidence, binned=True),
+                    )
+                )
+                if len(pending) >= BURST:
+                    for t0, p in pending:
+                        r = p.result(timeout=60.0)
+                        lats.append(time.perf_counter() - t0)
+                        statuses.append(r.status)
+                    pending.clear()
+            for t0, p in pending:
+                r = p.result(timeout=60.0)
+                lats.append(time.perf_counter() - t0)
+                statuses.append(r.status)
+            return lats, statuses
+
+        with ThreadPoolExecutor(N_THREADS) as ex:
+            parts = list(ex.map(worker, range(N_THREADS)))
+        lats = sorted(x for ls, _ in parts for x in ls)
+        statuses = [s for _, ss in parts for s in ss]
+        return lats, statuses
+
+    for t in tenants:  # warm every shard's batch plan
+        fabric.query(t, [TARGET], evidence, binned=True)
+
+    healthy_lats, healthy_statuses = segment(N_DEGRADED_SEGMENT, seed=100)
+    assert all(s != "failed" for s in healthy_statuses)
+
+    inj = ReplicaFaultInjector(rng=17)
+    inj.blackout()
+    group.inject_fault(0, inj)
+    degraded_lats, degraded_statuses = segment(N_DEGRADED_SEGMENT, seed=200)
+
+    inj.clear()
+    t_clear = time.perf_counter()
+    while (
+        not group.health[0].active
+        and time.perf_counter() - t_clear < READMIT_DEADLINE_S
+    ):
+        time.sleep(0.02)
+    readmit_seconds = time.perf_counter() - t_clear
+    readmitted = group.health[0].active
+
+    recovery_lats, recovery_statuses = segment(N_RECOVERY_SEGMENT, seed=300)
+
+    fabric.close()
+    prober_snap = fabric.prober.snapshot()
+    group_snap = group.snapshot()
+
+    # ------------------------------------------------------------------ #
+    # Acceptance criteria
+    # ------------------------------------------------------------------ #
+    answered = sum(1 for s in degraded_statuses if s != "failed")
+    availability = answered / len(degraded_statuses)
+    assert availability >= 0.99, (
+        f"availability {availability:.4f} under single-replica blackout "
+        f"fell below the 99% floor"
+    )
+    assert readmitted, (
+        f"blacked-out replica not readmitted within "
+        f"{READMIT_DEADLINE_S}s of recovery: {prober_snap}"
+    )
+    assert all(s != "failed" for s in recovery_statuses)
+
+    healthy_p99 = _pct(healthy_lats, 0.99)
+    degraded_p99 = _pct(degraded_lats, 0.99)
+    _merge_payload(
+        {
+            "degraded": {
+                "n_replicas": 2,
+                "n_queries_per_segment": N_DEGRADED_SEGMENT,
+                "availability": availability,
+                "p99_seconds": degraded_p99,
+                "healthy_p99_seconds": healthy_p99,
+                "p99_over_healthy": degraded_p99 / healthy_p99,
+                "recovery_p99_seconds": _pct(recovery_lats, 0.99),
+                "readmit_seconds": readmit_seconds,
+                "n_failovers": group_snap["failover"]["switches"],
+                "n_hedges_issued": group_snap["hedge"]["issued"],
+                "prober": prober_snap,
+            }
+        }
     )
 
 

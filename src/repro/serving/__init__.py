@@ -22,7 +22,9 @@ from repro.serving.breaker import (
 )
 from repro.serving.fabric import (
     DynamicBatcher,
+    HedgePolicy,
     PendingQuery,
+    ReplicaGroup,
     ServingFabric,
     ShardRouter,
     TenantState,
@@ -38,12 +40,26 @@ from repro.serving.fallback import (
     FallbackChain,
     TierAnswer,
 )
+from repro.serving.faults import (
+    KINDS,
+    FaultWindow,
+    ReplicaFaultInjector,
+)
 from repro.serving.guards import (
     GuardedBatch,
     RowRejection,
     SanitizedBatch,
     check_row,
     sanitize_rows,
+)
+from repro.serving.health import (
+    ACTIVE,
+    EJECTED,
+    PROBATION,
+    HealthPolicy,
+    HealthProber,
+    QuantileTracker,
+    ReplicaHealth,
 )
 from repro.serving.quality import (
     AccuracyTripwire,
@@ -65,6 +81,7 @@ from repro.serving.server import (
 )
 
 __all__ = [
+    "ACTIVE",
     "AccuracyTripwire",
     "AdmissionController",
     "CHAIN",
@@ -73,15 +90,26 @@ __all__ = [
     "ColumnarBatchResult",
     "DataQualityGate",
     "DynamicBatcher",
+    "EJECTED",
     "FallbackChain",
+    "FaultWindow",
     "GuardedBatch",
     "HALF_OPEN",
+    "HealthPolicy",
+    "HealthProber",
+    "HedgePolicy",
+    "KINDS",
     "ModelRegistry",
     "ModelServer",
     "OPEN",
+    "PROBATION",
     "PendingQuery",
     "PublishOutcome",
+    "QuantileTracker",
     "QueryResult",
+    "ReplicaFaultInjector",
+    "ReplicaGroup",
+    "ReplicaHealth",
     "RowRejection",
     "SanitizedBatch",
     "ServerStats",

@@ -105,6 +105,19 @@ class CircuitBreaker:
             self._consecutive_failures = 0
             self._transition(CLOSED)
 
+    def reset(self) -> None:
+        """Force the breaker closed with a clean failure history.
+
+        Used when a recovered replica is readmitted by the health
+        prober: the replica proved itself with canary queries, so trip
+        state accumulated while it was unreachable must not follow it
+        back into service.
+        """
+        with self._lock:
+            self._consecutive_failures = 0
+            self._cooldown_remaining = 0
+            self._transition(CLOSED)
+
     def record_failure(self) -> None:
         with self._lock:
             self._consecutive_failures += 1

@@ -24,10 +24,18 @@ real-traffic throughput.  This module is that front-end:
   roughly one flush interval).  When a shard's compiled batch tier is
   tripped, the batcher **falls back to singles** — queueing behind a
   broken kernel would only add latency to an already-degraded path.
+- :class:`ReplicaGroup` — one ring slot hosting ``n`` replicas of the
+  same model behind the :class:`ModelServer` surface: health-ordered
+  routing (:mod:`repro.serving.health`), failover down the health
+  order on outright failure, optional p95-adaptive **hedged requests**
+  against the next-healthiest sibling, and per-replica fault injection
+  (:mod:`repro.serving.faults`) for chaos drills.
 - :class:`ServingFabric` — the facade the CLI and the load harness
   drive: single queries through the batcher, bulk columnar traffic
   straight through the router's
-  :meth:`~repro.serving.server.ModelServer.query_batch_columns` lane.
+  :meth:`~repro.serving.server.ModelServer.query_batch_columns` lane,
+  plus a background :class:`~repro.serving.health.HealthProber` that
+  canaries ejected replicas back into service.
 
 All fabric counters/gauges flow into :mod:`repro.obs` under the
 ``fabric.*`` prefix (and therefore out of the Prometheus exporter):
@@ -42,6 +50,9 @@ from __future__ import annotations
 import threading
 import time
 import zlib
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeout
+from concurrent.futures import wait as futures_wait
 from dataclasses import dataclass, field
 from typing import Callable, Mapping, Sequence
 
@@ -49,6 +60,13 @@ from repro.exceptions import ServingError
 from repro.obs.runtime import OBS as _OBS
 from repro.serving.breaker import CLOSED, AdmissionController, CircuitBreaker
 from repro.serving.fallback import TIER_COMPILED
+from repro.serving.faults import ReplicaFaultInjector
+from repro.serving.health import (
+    HealthPolicy,
+    HealthProber,
+    QuantileTracker,
+    ReplicaHealth,
+)
 from repro.serving.server import (
     STATUS_FAILED,
     STATUS_SHED,
@@ -57,6 +75,22 @@ from repro.serving.server import (
     QueryResult,
     ServerStats,
 )
+
+
+def _validate_tenant(tenant) -> str:
+    """Tenant names must be non-blank strings.
+
+    Silently CRC-hashing ``str(None)`` or ``""`` would route phantom
+    tenants onto real shards and corrupt per-tenant accounting, so bad
+    names are refused at the door.
+    """
+    if not isinstance(tenant, str):
+        raise ServingError(
+            f"tenant name must be a string, got {type(tenant).__name__}"
+        )
+    if not tenant.strip():
+        raise ServingError("tenant name must be non-empty")
+    return tenant
 
 
 def shard_index(tenant: str, n_shards: int) -> int:
@@ -68,7 +102,8 @@ def shard_index(tenant: str, n_shards: int) -> int:
     """
     if n_shards < 1:
         raise ServingError("n_shards must be >= 1")
-    return zlib.crc32(str(tenant).encode("utf-8")) % n_shards
+    tenant = _validate_tenant(tenant)
+    return zlib.crc32(tenant.encode("utf-8")) % n_shards
 
 
 @dataclass
@@ -97,6 +132,411 @@ class TenantState:
         return info
 
 
+@dataclass(frozen=True)
+class HedgePolicy:
+    """When to issue a backup query against a sibling replica.
+
+    The hedge delay adapts to the group's observed latency: it is
+    ``multiplier`` times the streaming p95 (per-group
+    :class:`~repro.serving.health.QuantileTracker`), floored at
+    ``min_delay_s`` so cold groups and microsecond workloads do not
+    hedge every call.  Until ``warmup`` samples have been observed the
+    floor alone applies.
+    """
+
+    min_delay_s: float = 0.01
+    multiplier: float = 2.0
+    warmup: int = 16
+
+    def __post_init__(self):
+        if self.min_delay_s <= 0.0:
+            raise ServingError("min_delay_s must be > 0")
+        if self.multiplier <= 0.0:
+            raise ServingError("multiplier must be > 0")
+        if self.warmup < 1:
+            raise ServingError("warmup must be >= 1")
+
+
+def _group_failed(result) -> bool:
+    """Did this call fail outright (every row FAILED)?
+
+    Failover retries a sibling only on *total* failure — partial
+    results (some rows shed/rejected) are real answers whose budgets
+    were already charged.
+    """
+    if isinstance(result, list):
+        return bool(result) and all(r.status == STATUS_FAILED for r in result)
+    return result.status == STATUS_FAILED
+
+
+def _group_deadline_missed(result) -> bool:
+    if isinstance(result, list):
+        return any(r.deadline_exceeded for r in result)
+    return result.deadline_exceeded
+
+
+class ReplicaGroup:
+    """One ring slot hosting ``n`` replicas of the same model.
+
+    Presents the :class:`ModelServer` query surface (``query`` /
+    ``query_batch`` / ``query_batch_columns`` plus the ``chain`` /
+    ``breakers`` / ``stats`` / ``model`` / ``version`` accessors the
+    router and batcher rely on), so a group drops in anywhere a single
+    shard server did.  On top of the surface it adds:
+
+    - **health-ordered routing** — every dispatch lands on the replica
+      ranked healthiest by :class:`~repro.serving.health.ReplicaHealth`
+      (EJECTED replicas sort last, tripped compiled tiers next-to-last);
+    - **failover** — when the chosen replica fails outright, the call
+      retries down the health order (``fabric.failover.switches``;
+      ``fabric.failover.exhausted`` when every replica failed);
+    - **hedged requests** — with a :class:`HedgePolicy` and ≥2 live
+      replicas, a backup is issued to the next-healthiest sibling once
+      the primary has been quiet past the adaptive p95-based hedge
+      delay; first response wins and the loser is accounted under
+      ``fabric.hedge.{issued,won,wasted}``;
+    - **fault injection** — a per-replica
+      :class:`~repro.serving.faults.ReplicaFaultInjector` consulted
+      before each dispatch; an injected fault synthesizes a FAILED
+      result *without touching the replica*, exactly like an
+      unreachable shard (the replica's own stats never see the call).
+    """
+
+    def __init__(
+        self,
+        replicas: "Sequence[ModelServer]",
+        *,
+        name: str = "shard",
+        health_policy: "HealthPolicy | None" = None,
+        hedge: "HedgePolicy | bool | None" = None,
+    ):
+        if not replicas:
+            raise ServingError("ReplicaGroup needs at least one replica")
+        self.name = str(name)
+        self.replicas: tuple[ModelServer, ...] = tuple(replicas)
+        self.policy = health_policy or HealthPolicy()
+        if hedge is True:
+            hedge = HedgePolicy()
+        self.hedge: "HedgePolicy | None" = hedge or None
+        self.health = tuple(
+            ReplicaHealth(policy=self.policy, name=f"{self.name}.r{i}")
+            for i in range(len(self.replicas))
+        )
+        #: Group-level latency quantile feeding the hedge delay.
+        self.latency = QuantileTracker(self.policy.quantile)
+        self._faults: "dict[int, ReplicaFaultInjector]" = {}
+        self._executor: "ThreadPoolExecutor | None" = None
+        self._lock = threading.Lock()
+        self.n_failovers = 0
+        self.n_exhausted = 0
+        self.n_faults_injected = 0
+        self.n_hedges_issued = 0
+        self.n_hedges_won = 0
+        self.n_hedges_wasted = 0
+
+    # ------------------------------------------------------------------ #
+    # ModelServer-compatible surface (delegates to the current primary)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n_replicas(self) -> int:
+        return len(self.replicas)
+
+    def order(self) -> "list[int]":
+        """Replica indices, healthiest first.
+
+        Sort key: ACTIVE before ejected/probation, closed compiled
+        breaker before tripped, then descending health score, then
+        index (stable tiebreak).
+        """
+        keyed = []
+        for i, h in enumerate(self.health):
+            r = self.replicas[i]
+            tripped = int(
+                r.chain is not None
+                and r.breakers[TIER_COMPILED].state != CLOSED
+            )
+            keyed.append((0 if h.active else 1, tripped, -h.score, i))
+        keyed.sort()
+        return [k[-1] for k in keyed]
+
+    def primary_index(self) -> int:
+        return self.order()[0]
+
+    @property
+    def primary(self) -> ModelServer:
+        return self.replicas[self.primary_index()]
+
+    @property
+    def chain(self):
+        return self.primary.chain
+
+    @property
+    def breakers(self):
+        return self.primary.breakers
+
+    @property
+    def model(self):
+        return self.primary.model
+
+    @property
+    def version(self):
+        return self.primary.version
+
+    @property
+    def registry(self):
+        return self.primary.registry
+
+    @property
+    def stats(self) -> ServerStats:
+        """Primary replica's stats (see :meth:`stats_dict` for the
+        group-wide aggregate)."""
+        return self.primary.stats
+
+    @property
+    def batch_ready(self) -> bool:
+        """May the batcher coalesce onto this group right now?
+
+        True when some routable replica still has a closed compiled
+        tier — with replicas, one tripped kernel should not push the
+        whole slot onto the slow single-query path.
+        """
+        candidates = [i for i, h in enumerate(self.health) if h.active]
+        if not candidates:
+            candidates = list(range(len(self.replicas)))
+        return any(
+            self.replicas[i].chain is not None
+            and self.replicas[i].breakers[TIER_COMPILED].state == CLOSED
+            for i in candidates
+        )
+
+    def refresh(self) -> "int | None":
+        versions = [r.refresh() for r in self.replicas]
+        return versions[0]
+
+    def stats_dict(self) -> dict:
+        """Row-equivalent aggregate over every replica's ServerStats."""
+        agg: "dict | None" = None
+        for r in self.replicas:
+            d = r.stats.as_dict()
+            if agg is None:
+                agg = d
+                continue
+            for k, v in d.items():
+                if k == "tier_counts":
+                    for tier, c in v.items():
+                        agg["tier_counts"][tier] = (
+                            agg["tier_counts"].get(tier, 0) + c
+                        )
+                else:
+                    agg[k] += v
+        assert agg is not None
+        return agg
+
+    # ------------------------------------------------------------------ #
+    # Fault injection
+    # ------------------------------------------------------------------ #
+
+    def inject_fault(
+        self, replica: int, injector: ReplicaFaultInjector
+    ) -> ReplicaFaultInjector:
+        """Attach ``injector`` to one replica (chaos tests, CLI drills)."""
+        if not 0 <= replica < len(self.replicas):
+            raise ServingError(
+                f"replica index {replica} out of range for {self.name!r}"
+            )
+        with self._lock:
+            self._faults[replica] = injector
+        return injector
+
+    def fault_injector(self, replica: int) -> "ReplicaFaultInjector | None":
+        with self._lock:
+            return self._faults.get(replica)
+
+    def clear_faults(self) -> None:
+        with self._lock:
+            self._faults.clear()
+
+    # ------------------------------------------------------------------ #
+    # Dispatch, failover, hedging
+    # ------------------------------------------------------------------ #
+
+    def _synth_failed(self, method: str, args: tuple, reason: str):
+        """A FAILED result shaped like ``method``'s return type."""
+        errors = {"fault": reason}
+        if method == "query_batch":
+            rows = args[1]
+            return [
+                QueryResult(status=STATUS_FAILED, tier_errors=dict(errors))
+                for _ in rows
+            ]
+        if method == "query_batch_columns":
+            columns = args[1]
+            n_rows = max((len(c) for c in columns.values()), default=0)
+            return ColumnarBatchResult(
+                status=STATUS_FAILED, n_rows=n_rows, tier_errors=errors
+            )
+        return QueryResult(status=STATUS_FAILED, tier_errors=errors)
+
+    def _dispatch(self, idx: int, method: str, args: tuple):
+        """One timed call to one replica, health-scored on the way out."""
+        with self._lock:
+            injector = self._faults.get(idx)
+        started = time.monotonic()
+        reason = injector.before_call() if injector is not None else None
+        if reason is None:
+            result = getattr(self.replicas[idx], method)(*args)
+        else:
+            with self._lock:
+                self.n_faults_injected += 1
+            if _OBS.enabled:
+                _OBS.metrics.counter("fabric.faults.injected").inc()
+            result = self._synth_failed(method, args, reason)
+        elapsed = time.monotonic() - started
+        self.health[idx].record(
+            ok=not _group_failed(result),
+            deadline_miss=_group_deadline_missed(result),
+            latency_s=elapsed,
+        )
+        self.latency.update(elapsed)
+        return result
+
+    def hedge_delay(self) -> float:
+        """Adaptive hedge trigger: multiplier × streaming p95, floored."""
+        assert self.hedge is not None
+        policy = self.hedge
+        p95 = self.latency.value if self.latency.n >= policy.warmup else 0.0
+        return max(policy.min_delay_s, p95 * policy.multiplier)
+
+    def _ensure_executor(self) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=max(2, 2 * len(self.replicas)),
+                    thread_name_prefix=f"hedge-{self.name}",
+                )
+            return self._executor
+
+    def _hedged(self, method: str, args: tuple, order: "list[int]"):
+        """Primary + delayed backup, first response wins."""
+        executor = self._ensure_executor()
+        primary, backup = order[0], order[1]
+        f_primary = executor.submit(self._dispatch, primary, method, args)
+        try:
+            return f_primary.result(timeout=self.hedge_delay()), {primary}
+        except FutureTimeout:
+            pass
+        with self._lock:
+            self.n_hedges_issued += 1
+        if _OBS.enabled:
+            _OBS.metrics.counter("fabric.hedge.issued").inc()
+        f_backup = executor.submit(self._dispatch, backup, method, args)
+        done, _ = futures_wait(
+            {f_primary, f_backup}, return_when=FIRST_COMPLETED
+        )
+        backup_won = f_primary not in done
+        result = (f_backup if backup_won else f_primary).result()
+        if _group_failed(result):
+            # The loser is already in flight; its answer is free — take
+            # it if it is better than the winner's failure.
+            other = (f_primary if backup_won else f_backup).result()
+            if not _group_failed(other):
+                result, backup_won = other, not backup_won
+        with self._lock:
+            if backup_won:
+                self.n_hedges_won += 1
+            else:
+                self.n_hedges_wasted += 1
+        if _OBS.enabled:
+            _OBS.metrics.counter(
+                "fabric.hedge.won" if backup_won else "fabric.hedge.wasted"
+            ).inc()
+        return result, {primary, backup}
+
+    def _call(self, method: str, args: tuple):
+        """Route one call: hedge (if enabled), then fail over in health
+        order until a replica answers or every one has been tried."""
+        order = self.order()
+        if self.hedge is not None and len(order) > 1:
+            result, tried = self._hedged(method, args, order)
+        else:
+            result = self._dispatch(order[0], method, args)
+            tried = {order[0]}
+        if _group_failed(result):
+            for idx in order:
+                if idx in tried:
+                    continue
+                with self._lock:
+                    self.n_failovers += 1
+                if _OBS.enabled:
+                    _OBS.metrics.counter("fabric.failover.switches").inc()
+                tried.add(idx)
+                result = self._dispatch(idx, method, args)
+                if not _group_failed(result):
+                    break
+            if _group_failed(result):
+                with self._lock:
+                    self.n_exhausted += 1
+                if _OBS.enabled:
+                    _OBS.metrics.counter("fabric.failover.exhausted").inc()
+        return result
+
+    # Query surface — same signatures as ModelServer. ------------------- #
+
+    def query(self, variables, evidence=None, binned: bool = False):
+        return self._call("query", (variables, evidence, binned))
+
+    def query_batch(self, variables, rows, binned: bool = False):
+        return self._call("query_batch", (variables, rows, binned))
+
+    def query_batch_columns(self, variables, columns):
+        return self._call("query_batch_columns", (variables, columns))
+
+    # ------------------------------------------------------------------ #
+    # Probe surface (driven by HealthProber)
+    # ------------------------------------------------------------------ #
+
+    def canary(self, idx: int):
+        """One canary query against a specific replica (probe path)."""
+        return self._dispatch(idx, "canary", ())
+
+    def restore_replica(self, idx: int) -> None:
+        """Post-readmission cleanup: the replica re-enters with closed
+        breakers so stale trip state cannot immediately re-eject it."""
+        for breaker in self.replicas[idx].breakers.values():
+            breaker.reset()
+
+    # ------------------------------------------------------------------ #
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            faults = {
+                str(i): inj.snapshot() for i, inj in sorted(self._faults.items())
+            }
+        return {
+            "name": self.name,
+            "n_replicas": len(self.replicas),
+            "replicas": [h.snapshot() for h in self.health],
+            "failover": {
+                "switches": self.n_failovers,
+                "exhausted": self.n_exhausted,
+            },
+            "hedge": {
+                "issued": self.n_hedges_issued,
+                "won": self.n_hedges_won,
+                "wasted": self.n_hedges_wasted,
+            },
+            "faults_injected": self.n_faults_injected,
+            "faults": faults,
+        }
+
+    def close(self) -> None:
+        with self._lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=False)
+
+
 class ShardRouter:
     """Multi-tenant front door over a fixed ring of model servers.
 
@@ -119,16 +559,30 @@ class ShardRouter:
 
     def __init__(
         self,
-        shards: "Sequence[ModelServer]",
+        shards: "Sequence[ModelServer | ReplicaGroup]",
         *,
         auto_register: bool = True,
         tenant_budget: "Callable[[str], AdmissionController | None] | None" = None,
         breaker_threshold: int = 5,
         breaker_cooldown: int = 50,
+        health_policy: "HealthPolicy | None" = None,
+        hedge: "HedgePolicy | bool | None" = None,
     ):
         if not shards:
             raise ServingError("ShardRouter needs at least one shard")
-        self.shards: tuple[ModelServer, ...] = tuple(shards)
+        # Bare ModelServers become single-replica groups so the whole
+        # routing/failover/probe surface is uniform.
+        self.shards: tuple[ReplicaGroup, ...] = tuple(
+            shard
+            if isinstance(shard, ReplicaGroup)
+            else ReplicaGroup(
+                [shard],
+                name=f"shard{i}",
+                health_policy=health_policy,
+                hedge=hedge,
+            )
+            for i, shard in enumerate(shards)
+        )
         self.auto_register = bool(auto_register)
         self._tenant_budget = tenant_budget
         self._breaker_threshold = int(breaker_threshold)
@@ -151,7 +605,7 @@ class ShardRouter:
     def shard_of(self, tenant: str) -> int:
         return shard_index(tenant, len(self.shards))
 
-    def server_for(self, tenant: str) -> ModelServer:
+    def server_for(self, tenant: str) -> ReplicaGroup:
         return self.shards[self.shard_of(tenant)]
 
     def add_tenant(
@@ -162,7 +616,7 @@ class ShardRouter:
         breaker: "CircuitBreaker | None" = None,
     ) -> TenantState:
         """Register ``name`` with its budgets (idempotent per name)."""
-        name = str(name)
+        name = _validate_tenant(name)
         with self._lock:
             state = self._tenants.get(name)
             if state is not None:
@@ -185,7 +639,8 @@ class ShardRouter:
             return state
 
     def tenant_state(self, tenant: str) -> TenantState:
-        state = self._tenants.get(str(tenant))
+        tenant = _validate_tenant(tenant)
+        state = self._tenants.get(tenant)
         if state is None:
             if not self.auto_register:
                 raise ServingError(f"unknown tenant {tenant!r}")
@@ -337,11 +792,12 @@ class ShardRouter:
             "n_shards": len(self.shards),
             "shards": [
                 {
-                    "stats": shard.stats.as_dict(),
+                    "stats": shard.stats_dict(),
                     "version": shard.version,
                     "breakers": {
                         tier: b.state for tier, b in shard.breakers.items()
                     },
+                    "replicas": shard.snapshot(),
                 }
                 for shard in self.shards
             ],
@@ -359,12 +815,28 @@ class ShardRouter:
 class PendingQuery:
     """A submitted single query awaiting its coalesced batch."""
 
-    __slots__ = ("tenant", "evidence", "submitted_at", "_event", "_result")
+    __slots__ = (
+        "tenant",
+        "evidence",
+        "submitted_at",
+        "default_timeout",
+        "_event",
+        "_result",
+    )
 
-    def __init__(self, tenant: str, evidence: dict):
+    def __init__(
+        self,
+        tenant: str,
+        evidence: dict,
+        default_timeout: "float | None" = None,
+    ):
         self.tenant = tenant
         self.evidence = evidence
         self.submitted_at = time.monotonic()
+        #: Wait bound applied when ``result()`` is called without an
+        #: explicit timeout — set by the batcher from its flush cadence
+        #: so a dead flusher can never strand a waiter forever.
+        self.default_timeout = default_timeout
         self._event = threading.Event()
         self._result: "QueryResult | None" = None
 
@@ -376,11 +848,20 @@ class PendingQuery:
         return self._event.is_set()
 
     def result(self, timeout: "float | None" = None) -> QueryResult:
-        """Block until the coalesced batch answers (or ``timeout``)."""
+        """Block until the coalesced batch answers.
+
+        Without an explicit ``timeout`` the batcher-assigned
+        ``default_timeout`` applies (many flush intervals), so waiters
+        always wake with a diagnosable error instead of blocking
+        forever if the flusher thread died.
+        """
+        if timeout is None:
+            timeout = self.default_timeout
         if not self._event.wait(timeout):
             raise ServingError(
                 f"pending query for tenant {self.tenant!r} timed out "
-                f"after {timeout}s"
+                f"after {timeout}s — the batcher may be closed or its "
+                f"flusher stalled"
             )
         assert self._result is not None
         return self._result
@@ -446,7 +927,11 @@ class DynamicBatcher:
         self.n_flushes = 0
         self.n_coalesced_rows = 0
         self.n_bypass = 0
+        #: Default bound for ``PendingQuery.result()`` waits: many
+        #: flush intervals plus generous kernel headroom.
+        self.default_result_timeout = max(1.0, 50.0 * self.max_wait_s)
         self._closed = False
+        self._stop = threading.Event()
         self._flusher = threading.Thread(
             target=self._flush_loop, name="fabric-batcher", daemon=True
         )
@@ -479,19 +964,18 @@ class DynamicBatcher:
         binned = self.binned if binned is None else bool(binned)
         state = self.router.tenant_state(tenant)
         evidence = dict(evidence or {})
-        pending = PendingQuery(str(tenant), evidence)
+        pending = PendingQuery(
+            str(tenant), evidence, default_timeout=self.default_result_timeout
+        )
         shed = self.router._gate(state)
         if shed is not None:
             pending._resolve(shed)
             return pending
         shard_server = self.router.shards[state.shard]
-        chain = shard_server.chain
-        if (
-            chain is None
-            or shard_server.breakers[TIER_COMPILED].state != CLOSED
-        ):
-            # Batch tier tripped (or non-discrete model): fall back to a
-            # single query now instead of queueing behind a broken tier.
+        if not shard_server.batch_ready:
+            # Every routable replica's batch tier is tripped (or the
+            # model is non-discrete): fall back to a single query now
+            # instead of queueing behind a broken tier.
             self.n_bypass += 1
             if _OBS.enabled:
                 _OBS.metrics.counter("fabric.batcher.bypass").inc()
@@ -506,6 +990,11 @@ class DynamicBatcher:
         )
         full: "_Bucket | None" = None
         with self._lock:
+            # Re-check under the lock: a concurrent close() may have
+            # flipped the flag after the fast check above, and a bucket
+            # enqueued now would never be swept.
+            if self._closed:
+                raise ServingError("batcher is closed")
             bucket = self._buckets.get(key)
             if bucket is None:
                 bucket = self._buckets[key] = _Bucket(key)
@@ -530,9 +1019,8 @@ class DynamicBatcher:
     ) -> QueryResult:
         """Submit and wait: a drop-in, coalescing ``router.query``."""
         pending = self.submit(tenant, variables, evidence, binned=binned)
-        if timeout is None:
-            # Generous default: several flush intervals plus kernel time.
-            timeout = max(1.0, 50.0 * self.max_wait_s)
+        # timeout=None falls through to the batcher-assigned default
+        # bound (many flush intervals), never an unbounded wait.
         return pending.result(timeout)
 
     def flush(self) -> int:
@@ -547,8 +1035,22 @@ class DynamicBatcher:
         return flushed
 
     def close(self) -> None:
-        """Stop the flusher and drain everything still queued."""
-        self._closed = True
+        """Stop and join the flusher, then drain everything queued.
+
+        Idempotent.  After close, :meth:`submit` raises
+        :class:`ServingError` — a late request would enqueue into a
+        bucket no flusher will ever sweep and its waiter would hang
+        until its default timeout.  The final drain runs *after* the
+        join so nothing the flusher was sweeping races the shutdown.
+        """
+        with self._lock:
+            self._closed = True
+        self._stop.set()
+        if (
+            self._flusher.is_alive()
+            and threading.current_thread() is not self._flusher
+        ):
+            self._flusher.join(timeout=10.0)
         self.flush()
 
     def __enter__(self) -> "DynamicBatcher":
@@ -561,8 +1063,7 @@ class DynamicBatcher:
 
     def _flush_loop(self) -> None:
         interval = max(self.max_wait_s / 2.0, 1e-4)
-        while not self._closed:
-            time.sleep(interval)
+        while not self._stop.wait(interval):
             now = time.monotonic()
             aged: "list[_Bucket]" = []
             with self._lock:
@@ -624,11 +1125,12 @@ class DynamicBatcher:
 
 
 class ServingFabric:
-    """Router + batcher, bundled for the CLI and the load harness."""
+    """Router + batcher + health prober, bundled for the CLI and the
+    load harness."""
 
     def __init__(
         self,
-        shards: "Sequence[ModelServer]",
+        shards: "Sequence[ModelServer | ReplicaGroup]",
         *,
         max_batch: int = 64,
         max_wait_us: float = 2000.0,
@@ -637,6 +1139,9 @@ class ServingFabric:
         tenant_budget: "Callable[[str], AdmissionController | None] | None" = None,
         breaker_threshold: int = 5,
         breaker_cooldown: int = 50,
+        health_policy: "HealthPolicy | None" = None,
+        hedge: "HedgePolicy | bool | None" = None,
+        probe_interval_s: "float | None" = 0.25,
     ):
         self.router = ShardRouter(
             shards,
@@ -644,6 +1149,8 @@ class ServingFabric:
             tenant_budget=tenant_budget,
             breaker_threshold=breaker_threshold,
             breaker_cooldown=breaker_cooldown,
+            health_policy=health_policy,
+            hedge=hedge,
         )
         self.batcher = DynamicBatcher(
             self.router,
@@ -651,6 +1158,15 @@ class ServingFabric:
             max_wait_us=max_wait_us,
             binned=binned,
         )
+        # The probe loop only matters when some slot can actually fail
+        # over, but it is cheap (it sleeps unless a replica is ejected)
+        # so it runs whenever an interval is configured.
+        self.prober: "HealthProber | None" = None
+        if probe_interval_s is not None:
+            self.prober = HealthProber(
+                self.router.shards, interval_s=probe_interval_s
+            )
+            self.prober.start()
 
     # Single queries coalesce through the batcher.
     def query(self, tenant, variables, evidence=None, binned=None, timeout=None):
@@ -681,10 +1197,16 @@ class ServingFabric:
             "bypass": self.batcher.n_bypass,
             "queue_depth": self.batcher.queue_depth,
         }
+        if self.prober is not None:
+            out["prober"] = self.prober.snapshot()
         return out
 
     def close(self) -> None:
+        if self.prober is not None:
+            self.prober.stop()
         self.batcher.close()
+        for group in self.router.shards:
+            group.close()
 
     def __enter__(self) -> "ServingFabric":
         return self
@@ -693,12 +1215,33 @@ class ServingFabric:
         self.close()
 
 
-def build_fabric(sources: Sequence, **kwargs) -> ServingFabric:
-    """One shard per source (a model object or a ``ModelRegistry``)."""
+def build_fabric(
+    sources: Sequence, *, n_replicas: int = 1, **kwargs
+) -> ServingFabric:
+    """One ring slot per source (a model object or a ``ModelRegistry``),
+    each hosting ``n_replicas`` independent :class:`ModelServer`\\ s.
+
+    Registry-backed replicas each load their own copy of the active
+    bundle (independent engines — one replica's poisoned plan cache or
+    tripped tier cannot take down its siblings); bare-model replicas
+    wrap the same model object behind separate guard stacks.
+    """
+    if n_replicas < 1:
+        raise ServingError("n_replicas must be >= 1")
     server_kwargs = {
         k: kwargs.pop(k)
         for k in ("deadline_seconds", "n_fallback_samples", "rng")
         if k in kwargs
     }
-    shards = [ModelServer(source, **server_kwargs) for source in sources]
+    health_policy = kwargs.get("health_policy")
+    hedge = kwargs.get("hedge")
+    shards = [
+        ReplicaGroup(
+            [ModelServer(source, **server_kwargs) for _ in range(n_replicas)],
+            name=f"shard{i}",
+            health_policy=health_policy,
+            hedge=hedge,
+        )
+        for i, source in enumerate(sources)
+    ]
     return ServingFabric(shards, **kwargs)

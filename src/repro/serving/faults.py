@@ -1,0 +1,234 @@
+"""Seeded shard-fault injection for the serving fabric.
+
+Chaos testing the replicated fabric needs faults that are *repeatable*
+(a failing CI run must replay exactly) and *shaped like production
+incidents* (not just "every call fails").  This module mirrors the
+idiom of :class:`repro.decentralized.messaging.ChannelFaults` and
+:mod:`repro.simulator.faults`: declarative windows, seeded draws,
+half-open intervals, O(1) counters.
+
+- :class:`FaultWindow` — one fault regime over a half-open range of
+  *replica calls* ``[start, end)``.  Windows are indexed by call count
+  rather than wall-clock so tests are deterministic regardless of
+  scheduler timing.  Kinds:
+
+  - ``"latency"`` — each affected call sleeps ``latency_s`` with
+    probability ``probability`` (a latency storm / stall);
+  - ``"errors"`` — each affected call fails with ``probability``
+    (an error burst);
+  - ``"blackout"`` — every affected call fails (replica unreachable);
+  - ``"ramp"`` — failure probability decays linearly from
+    ``probability`` at ``start`` to zero at ``end`` (slow recovery:
+    a rebooting replica that still drops some traffic).
+
+- :class:`ReplicaFaultInjector` — thread-safe per-replica injector the
+  :class:`~repro.serving.fabric.ReplicaGroup` consults *before* each
+  dispatch.  A ``None`` verdict means the call proceeds normally; a
+  string verdict is the failure reason and the group synthesizes a
+  FAILED result without touching the replica (the replica never saw
+  the request — exactly what a network-partitioned shard looks like).
+  Imperative helpers (:meth:`blackout`, :meth:`error_burst`,
+  :meth:`latency_storm`, :meth:`recovery_ramp`) append windows
+  relative to the *current* call counter so chaos tests read like an
+  incident timeline.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.exceptions import ServingError
+from repro.utils.rng import ensure_rng
+
+KIND_LATENCY = "latency"
+KIND_ERRORS = "errors"
+KIND_BLACKOUT = "blackout"
+KIND_RAMP = "ramp"
+
+KINDS = (KIND_LATENCY, KIND_ERRORS, KIND_BLACKOUT, KIND_RAMP)
+
+
+@dataclass(frozen=True)
+class FaultWindow:
+    """One fault regime over the half-open call range ``[start, end)``.
+
+    ``end`` may be ``math.inf`` for an open-ended fault (cleared later
+    with :meth:`ReplicaFaultInjector.clear`).  ``probability`` is the
+    per-call failure probability for ``errors`` (and the *initial*
+    probability for ``ramp``); ``latency`` windows use it as the
+    per-call probability of sleeping ``latency_s``.
+    """
+
+    kind: str
+    start: int
+    end: float
+    probability: float = 1.0
+    latency_s: float = 0.0
+
+    def __post_init__(self):
+        if self.kind not in KINDS:
+            raise ServingError(
+                f"unknown fault kind {self.kind!r}; expected one of {KINDS}"
+            )
+        if self.start < 0:
+            raise ServingError("fault window start must be >= 0")
+        if not self.end > self.start:
+            raise ServingError("fault window must be non-empty (end > start)")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ServingError("fault probability must be in [0, 1]")
+        if self.latency_s < 0.0:
+            raise ServingError("latency_s must be >= 0")
+        if self.kind == KIND_LATENCY and self.latency_s == 0.0:
+            raise ServingError("latency windows need latency_s > 0")
+        if self.kind == KIND_RAMP and not math.isfinite(self.end):
+            raise ServingError("ramp windows need a finite end")
+
+    def active_at(self, call: int) -> bool:
+        return self.start <= call < self.end
+
+    def failure_probability(self, call: int) -> float:
+        """Per-call failure probability at call index ``call``."""
+        if not self.active_at(call):
+            return 0.0
+        if self.kind == KIND_BLACKOUT:
+            return 1.0
+        if self.kind == KIND_ERRORS:
+            return self.probability
+        if self.kind == KIND_RAMP:
+            span = self.end - self.start
+            return self.probability * (1.0 - (call - self.start) / span)
+        return 0.0  # latency windows delay, they do not fail
+
+
+class ReplicaFaultInjector:
+    """Seeded, call-indexed fault source for one replica.
+
+    The group calls :meth:`before_call` once per dispatch; the injector
+    advances its call counter, applies any active latency window
+    (sleeping on the *caller's* thread — exactly where a stalled
+    backend would stall the caller), then draws against the combined
+    failure probability of the active windows.  All draws come from one
+    seeded RNG, so a single-threaded replay is exact and a threaded one
+    is deterministic in aggregate.
+    """
+
+    def __init__(self, windows=(), rng=None):
+        self.rng = ensure_rng(rng)
+        self._lock = threading.Lock()
+        self._windows: "list[FaultWindow]" = list(windows)
+        for w in self._windows:
+            if not isinstance(w, FaultWindow):
+                raise ServingError("windows must be FaultWindow instances")
+        self.n_calls = 0
+        self.n_failed = 0
+        self.n_delayed = 0
+        self.injected_sleep_s = 0.0
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def windows(self) -> "tuple[FaultWindow, ...]":
+        with self._lock:
+            return tuple(self._windows)
+
+    def add_window(self, window: FaultWindow) -> FaultWindow:
+        with self._lock:
+            self._windows.append(window)
+        return window
+
+    def clear(self) -> None:
+        """Lift every fault immediately (the incident is over)."""
+        with self._lock:
+            self._windows.clear()
+
+    # Imperative timeline helpers: windows start at the *current* call. #
+
+    def _relative(self, kind, duration, probability, latency_s=0.0):
+        with self._lock:
+            start = self.n_calls
+            end = math.inf if duration is None else start + int(duration)
+            window = FaultWindow(
+                kind, start, end, probability=probability, latency_s=latency_s
+            )
+            self._windows.append(window)
+        return window
+
+    def blackout(self, duration: "int | None" = None) -> FaultWindow:
+        """Replica unreachable for the next ``duration`` calls (or until
+        :meth:`clear` when ``duration`` is None)."""
+        return self._relative(KIND_BLACKOUT, duration, 1.0)
+
+    def error_burst(
+        self, probability: float, duration: "int | None" = None
+    ) -> FaultWindow:
+        return self._relative(KIND_ERRORS, duration, probability)
+
+    def latency_storm(
+        self,
+        latency_s: float,
+        probability: float = 1.0,
+        duration: "int | None" = None,
+    ) -> FaultWindow:
+        return self._relative(
+            KIND_LATENCY, duration, probability, latency_s=latency_s
+        )
+
+    def recovery_ramp(self, probability: float, duration: int) -> FaultWindow:
+        """Linear decay from ``probability`` to zero over ``duration``
+        calls — a replica that came back but is still shaky."""
+        if duration is None:
+            raise ServingError("recovery_ramp needs a finite duration")
+        return self._relative(KIND_RAMP, duration, probability)
+
+    # ------------------------------------------------------------------ #
+
+    def before_call(self) -> "str | None":
+        """Advance one call; return a failure reason or None (healthy).
+
+        Latency windows sleep here, on the dispatching thread, before
+        the failure draw — a stalled *and* failing replica both delays
+        and errors, like real brownouts.
+        """
+        with self._lock:
+            call = self.n_calls
+            self.n_calls += 1
+            sleep_s = 0.0
+            fail_p = 0.0
+            worst: "FaultWindow | None" = None
+            for w in self._windows:
+                if not w.active_at(call):
+                    continue
+                if w.kind == KIND_LATENCY:
+                    if w.probability >= 1.0 or self.rng.random() < w.probability:
+                        sleep_s = max(sleep_s, w.latency_s)
+                    continue
+                p = w.failure_probability(call)
+                if p > fail_p:
+                    fail_p, worst = p, w
+            failed = fail_p > 0.0 and (
+                fail_p >= 1.0 or self.rng.random() < fail_p
+            )
+            if sleep_s > 0.0:
+                self.n_delayed += 1
+                self.injected_sleep_s += sleep_s
+            if failed:
+                self.n_failed += 1
+        if sleep_s > 0.0:
+            time.sleep(sleep_s)
+        if failed:
+            assert worst is not None
+            return f"injected {worst.kind} fault (call {call})"
+        return None
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "n_calls": self.n_calls,
+                "n_failed": self.n_failed,
+                "n_delayed": self.n_delayed,
+                "injected_sleep_s": self.injected_sleep_s,
+                "n_windows": len(self._windows),
+            }

@@ -1,0 +1,418 @@
+"""Per-replica health scoring and probe-driven readmission.
+
+The replicated fabric (:class:`~repro.serving.fabric.ReplicaGroup`)
+needs two signals that the per-tier circuit breakers do not give it:
+
+1. a *graded* health score per replica — breakers are binary and
+   per-tier, but routing wants "which replica is healthiest *right
+   now*", blending error rate, deadline misses, and latency into one
+   ordering; and
+2. a *recovery path* for replicas that were ejected — a blacked-out
+   replica must not see live traffic again until canary probes prove
+   it answers cleanly, mirroring the half-open discipline of
+   :class:`~repro.serving.breaker.CircuitBreaker` but driven by a
+   background loop instead of caller traffic.
+
+Replica health is a three-state machine::
+
+            score < eject_below                clean canary
+    ACTIVE ---------------------> EJECTED --------------------> PROBATION
+       ^   (after min_samples)       ^                              |
+       |                             | failed canary                | clean
+       |                             +------------------------------+ canary
+       |        readmit_after consecutive clean canaries            | streak
+       +------------------------------------------------------------+
+
+- :class:`ReplicaHealth` — EWMA error/miss/latency tracking with a
+  multiplicative score in [0, 1]; ejects itself when the score falls
+  below the policy floor.  A streaming :class:`QuantileTracker` keeps
+  an O(1) latency quantile estimate (used by the fabric's adaptive
+  hedge delay).
+- :class:`HealthProber` — daemon thread that periodically sends canary
+  queries to every non-ACTIVE replica and readmits it after
+  ``readmit_after`` consecutive clean answers (resetting its breakers
+  so the readmitted replica starts with a clean slate).
+
+Metrics (all through :mod:`repro.obs`, hence the Prometheus exporter):
+``fabric.health.<name>.score`` gauges, ``fabric.health.ejections`` /
+``fabric.health.readmissions`` counters, and ``fabric.probe.{probes,
+clean,failed}`` counters from the probe loop.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from repro.exceptions import ServingError
+from repro.obs.runtime import OBS as _OBS
+
+#: Replica health states.
+ACTIVE = "active"
+EJECTED = "ejected"
+PROBATION = "probation"
+
+REPLICA_STATES = (ACTIVE, EJECTED, PROBATION)
+
+
+class QuantileTracker:
+    """Streaming quantile estimate in O(1) memory (Frugal-style SGD).
+
+    Each sample nudges the estimate up by ``step * spread * q`` when it
+    lands above, down by ``step * spread * (1 - q)`` when below, where
+    ``spread`` is an EWMA of the absolute deviation — the asymmetric
+    steps balance exactly when a fraction ``1 - q`` of samples land
+    above the estimate, i.e. at the ``q``-quantile.  Adapting the step
+    to the observed spread makes convergence scale-free (microsecond
+    batcher latencies and multi-second storm latencies both track).
+    """
+
+    __slots__ = ("q", "step", "value", "spread", "n", "_lock")
+
+    def __init__(self, q: float = 0.95, step: float = 0.25):
+        if not 0.0 < q < 1.0:
+            raise ServingError("quantile must be in (0, 1)")
+        if not 0.0 < step <= 1.0:
+            raise ServingError("step must be in (0, 1]")
+        self.q = float(q)
+        self.step = float(step)
+        self.value = 0.0
+        self.spread = 0.0
+        self.n = 0
+        self._lock = threading.Lock()
+
+    def update(self, x: float) -> float:
+        x = float(x)
+        with self._lock:
+            self.n += 1
+            if self.n == 1:
+                self.value = x
+                self.spread = max(abs(x), 1e-12)
+                return self.value
+            self.spread += self.step * (abs(x - self.value) - self.spread)
+            delta = self.step * max(self.spread, 1e-12)
+            if x > self.value:
+                self.value += delta * self.q
+            elif x < self.value:
+                self.value -= delta * (1.0 - self.q)
+            return self.value
+
+
+@dataclass(frozen=True)
+class HealthPolicy:
+    """Knobs for replica scoring, ejection, and readmission."""
+
+    #: EWMA smoothing for error/miss/latency tracking.
+    alpha: float = 0.2
+    #: Score floor below which an ACTIVE replica is ejected.
+    eject_below: float = 0.35
+    #: Minimum samples before an ejection can trigger (cold replicas
+    #: must not be ejected on their first hiccup).
+    min_samples: int = 5
+    #: Consecutive clean canaries required to readmit.
+    readmit_after: int = 2
+    #: ACTIVE replicas scoring below this are *suspect*: the prober
+    #: canaries them too.  Health-ordered routing starves a
+    #: once-failed replica of live traffic, so without suspect probes
+    #: a blacked-out replica could linger degraded-but-ACTIVE forever;
+    #: canary records drive a broken suspect down to ejection within a
+    #: bounded number of cycles and pull a healthy one back up.
+    suspect_below: float = 0.85
+    #: Latency scale: a replica whose EWMA latency equals this loses
+    #: half its latency factor.
+    latency_ref_s: float = 0.25
+    #: Quantile tracked per replica (feeds the adaptive hedge delay).
+    quantile: float = 0.95
+
+    def __post_init__(self):
+        if not 0.0 < self.alpha <= 1.0:
+            raise ServingError("alpha must be in (0, 1]")
+        if not 0.0 <= self.eject_below < 1.0:
+            raise ServingError("eject_below must be in [0, 1)")
+        if self.min_samples < 1:
+            raise ServingError("min_samples must be >= 1")
+        if self.readmit_after < 1:
+            raise ServingError("readmit_after must be >= 1")
+        if not self.eject_below < self.suspect_below <= 1.0:
+            raise ServingError(
+                "suspect_below must be in (eject_below, 1]"
+            )
+        if self.latency_ref_s <= 0.0:
+            raise ServingError("latency_ref_s must be > 0")
+        if not 0.0 < self.quantile < 1.0:
+            raise ServingError("quantile must be in (0, 1)")
+
+
+class ReplicaHealth:
+    """EWMA health score + ACTIVE/EJECTED/PROBATION state machine.
+
+    The score is multiplicative so any single degraded dimension can
+    eject on its own::
+
+        score = (1 - err_ewma) * (1 - miss_ewma)
+                * latency_ref / (latency_ref + latency_ewma)
+
+    A healthy replica scores ~1.0; a replica failing every call decays
+    toward 0 at rate ``alpha``; a replica answering cleanly but slowly
+    is pulled down by the latency factor alone.
+    """
+
+    def __init__(self, policy: "HealthPolicy | None" = None, name: str = "replica"):
+        self.policy = policy or HealthPolicy()
+        self.name = str(name)
+        self._lock = threading.Lock()
+        self._err = 0.0
+        self._miss = 0.0
+        self._latency = 0.0
+        self._n = 0
+        self._state = ACTIVE
+        self._streak = 0
+        self.n_ejections = 0
+        self.n_readmissions = 0
+        #: Streaming latency quantile (hedge delay input).
+        self.latency_quantile = QuantileTracker(self.policy.quantile)
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def state(self) -> str:
+        return self._state
+
+    @property
+    def active(self) -> bool:
+        return self._state == ACTIVE
+
+    @property
+    def samples(self) -> int:
+        return self._n
+
+    @property
+    def error_rate(self) -> float:
+        return self._err
+
+    @property
+    def miss_rate(self) -> float:
+        return self._miss
+
+    @property
+    def latency_ewma(self) -> float:
+        return self._latency
+
+    def _score_locked(self) -> float:
+        ref = self.policy.latency_ref_s
+        latency_factor = ref / (ref + self._latency)
+        return (1.0 - self._err) * (1.0 - self._miss) * latency_factor
+
+    @property
+    def score(self) -> float:
+        with self._lock:
+            return self._score_locked()
+
+    # ------------------------------------------------------------------ #
+
+    def record(
+        self, ok: bool, deadline_miss: bool = False, latency_s: float = 0.0
+    ) -> bool:
+        """Fold one observed call in; True when this call ejected us."""
+        self.latency_quantile.update(latency_s)
+        a = self.policy.alpha
+        ejected = False
+        with self._lock:
+            self._n += 1
+            self._err += a * ((0.0 if ok else 1.0) - self._err)
+            self._miss += a * ((1.0 if deadline_miss else 0.0) - self._miss)
+            self._latency += a * (float(latency_s) - self._latency)
+            score = self._score_locked()
+            if (
+                self._state == ACTIVE
+                and self._n >= self.policy.min_samples
+                and score < self.policy.eject_below
+            ):
+                self._state = EJECTED
+                self._streak = 0
+                self.n_ejections += 1
+                ejected = True
+        if _OBS.enabled:
+            m = _OBS.metrics
+            m.gauge(f"fabric.health.{self.name}.score").set(score)
+            if ejected:
+                m.counter("fabric.health.ejections").inc()
+                m.counter(f"fabric.health.{self.name}.to_{EJECTED}").inc()
+        return ejected
+
+    def eject(self) -> None:
+        """Force ejection (operator action or an external signal)."""
+        with self._lock:
+            if self._state == ACTIVE:
+                self._state = EJECTED
+                self._streak = 0
+                self.n_ejections += 1
+        if _OBS.enabled:
+            _OBS.metrics.counter("fabric.health.ejections").inc()
+
+    def probe_outcome(self, clean: bool) -> bool:
+        """Fold one canary outcome in; True when this probe readmitted.
+
+        Clean canaries walk EJECTED → PROBATION → … → ACTIVE after
+        ``readmit_after`` consecutive successes; any failed canary
+        resets the streak back to EJECTED.
+        """
+        readmitted = False
+        with self._lock:
+            if self._state == ACTIVE:
+                return False
+            if not clean:
+                self._state = EJECTED
+                self._streak = 0
+            else:
+                self._streak += 1
+                if self._streak >= self.policy.readmit_after:
+                    self._readmit_locked()
+                    readmitted = True
+                else:
+                    self._state = PROBATION
+        if _OBS.enabled and readmitted:
+            m = _OBS.metrics
+            m.counter("fabric.health.readmissions").inc()
+            m.counter(f"fabric.health.{self.name}.to_{ACTIVE}").inc()
+        return readmitted
+
+    def _readmit_locked(self) -> None:
+        self._state = ACTIVE
+        self._streak = 0
+        self._err = 0.0
+        self._miss = 0.0
+        self._latency = 0.0
+        self._n = 0
+        self.n_readmissions += 1
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "name": self.name,
+                "state": self._state,
+                "score": self._score_locked(),
+                "error_rate": self._err,
+                "miss_rate": self._miss,
+                "latency_ewma_s": self._latency,
+                "latency_p95_s": self.latency_quantile.value,
+                "samples": self._n,
+                "ejections": self.n_ejections,
+                "readmissions": self.n_readmissions,
+            }
+
+
+class HealthProber:
+    """Background canary loop readmitting recovered replicas.
+
+    ``groups`` is any sequence of objects exposing the probe surface of
+    :class:`~repro.serving.fabric.ReplicaGroup`: a ``health`` sequence
+    of :class:`ReplicaHealth`, ``canary(idx)`` returning a
+    :class:`~repro.serving.server.QueryResult`, and
+    ``restore_replica(idx)`` called once on readmission (breaker
+    reset).  :meth:`probe_once` is public so deterministic tests can
+    drive the loop by hand; :meth:`start` runs it on a daemon thread.
+    """
+
+    def __init__(self, groups, interval_s: float = 0.25, name: str = "fabric-prober"):
+        if interval_s <= 0:
+            raise ServingError("interval_s must be > 0")
+        self.groups = tuple(groups)
+        self.interval_s = float(interval_s)
+        self.name = str(name)
+        self._stop = threading.Event()
+        self._thread: "threading.Thread | None" = None
+        self._lock = threading.Lock()
+        self.n_cycles = 0
+        self.n_probes = 0
+        self.n_clean = 0
+        self.n_failed = 0
+        self.n_readmitted = 0
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> "HealthProber":
+        if self.running:
+            return self
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name=self.name, daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        thread = self._thread
+        if thread is not None and thread.is_alive():
+            thread.join(timeout=5.0)
+        self._thread = None
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            try:
+                self.probe_once()
+            except Exception:  # pragma: no cover — probe loop must survive
+                continue
+
+    # ------------------------------------------------------------------ #
+
+    def probe_once(self) -> int:
+        """One canary sweep over every non-ACTIVE or *suspect* replica.
+
+        Suspect = ACTIVE but scoring below the policy's
+        ``suspect_below``: routing already steers live traffic away
+        from such a replica, so only canaries can establish whether it
+        is actually broken (the failed canaries recorded by the group
+        decay it to ejection) or fine (clean canaries restore its
+        score).  Returns the number of probes issued this cycle.
+        """
+        with self._lock:
+            self.n_cycles += 1
+        probed = 0
+        for group in self.groups:
+            for idx, health in enumerate(group.health):
+                if health.active and (
+                    health.score >= health.policy.suspect_below
+                ):
+                    continue
+                probed += 1
+                try:
+                    result = group.canary(idx)
+                    clean = bool(getattr(result, "ok", False)) and not getattr(
+                        result, "tier_errors", None
+                    )
+                except Exception:
+                    clean = False
+                with self._lock:
+                    self.n_probes += 1
+                    if clean:
+                        self.n_clean += 1
+                    else:
+                        self.n_failed += 1
+                if _OBS.enabled:
+                    m = _OBS.metrics
+                    m.counter("fabric.probe.probes").inc()
+                    m.counter(
+                        "fabric.probe.clean" if clean else "fabric.probe.failed"
+                    ).inc()
+                if health.probe_outcome(clean):
+                    group.restore_replica(idx)
+                    with self._lock:
+                        self.n_readmitted += 1
+        return probed
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "cycles": self.n_cycles,
+                "probes": self.n_probes,
+                "clean": self.n_clean,
+                "failed": self.n_failed,
+                "readmitted": self.n_readmitted,
+                "running": self.running,
+            }

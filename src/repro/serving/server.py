@@ -433,6 +433,21 @@ class ModelServer:
             started,
         )
 
+    def canary(self) -> QueryResult:
+        """A minimal end-to-end probe query (health-prober path).
+
+        Exercises the full guarded pipeline — admission, chain or
+        analytic backend, deadline accounting — with the cheapest
+        well-formed query this model can answer: the response node's
+        evidence-free posterior for discrete models, a threshold-0
+        violation probability for continuous ones.  A clean canary
+        (``ok`` with no tier errors) is the readmission signal for a
+        blacked-out replica.
+        """
+        if self._chain is not None:
+            return self.query([self._model.response], {}, binned=True)
+        return self.violation_prob(0.0)
+
     def query_batch(
         self,
         variables: Sequence[str],

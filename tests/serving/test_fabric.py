@@ -312,6 +312,68 @@ def test_batcher_validates_knobs(fresh_models):
         DynamicBatcher(router, max_wait_us=0)
 
 
+def test_shard_index_rejects_bad_tenants():
+    for bad in ("", "   ", None, 7, b"bytes"):
+        with pytest.raises(ServingError):
+            shard_index(bad, 4)
+
+
+def test_router_rejects_bad_tenants(fresh_models):
+    router = ShardRouter([ModelServer(fresh_models[0], rng=0)])
+    for bad in ("", "  \t", None, 0):
+        with pytest.raises(ServingError):
+            router.add_tenant(bad)
+        with pytest.raises(ServingError):
+            router.tenant_state(bad)
+    # Valid names with surrounding content still register normally.
+    router.add_tenant("tenant-a")
+    assert router.tenant_state("tenant-a") is not None
+
+
+def test_batcher_close_joins_flusher_and_drains(
+    fresh_models, ediamond_data
+):
+    train, _ = ediamond_data
+    model = fresh_models[0]
+    svc = _svc(model)
+    router = ShardRouter([ModelServer(fresh_models[0], rng=0)])
+    # A flush cadence far longer than the test: only close() can be the
+    # thing that answers the pending query.
+    batcher = DynamicBatcher(router, max_batch=64, max_wait_us=5_000_000)
+    pending = batcher.submit("t", [model.response], {svc: _mean(train, svc)})
+    assert not pending.done()
+    batcher.close()
+    # close() joined the background flusher, then drained the queue.
+    assert not batcher._flusher.is_alive()
+    assert pending.done()
+    assert pending.result(timeout=0).ok
+    assert batcher.queue_depth == 0
+    # And stays closed: late submits are rejected, close is idempotent.
+    with pytest.raises(ServingError):
+        batcher.submit("t", [model.response], {})
+    batcher.close()
+
+
+def test_pending_query_default_wait_bound(fresh_models):
+    from repro.serving.fabric import PendingQuery
+
+    router = ShardRouter([ModelServer(fresh_models[0], rng=0)])
+    batcher = DynamicBatcher(router, max_batch=4, max_wait_us=2000)
+    try:
+        # The bound is a multiple of the flush cadence, floored at 1s so
+        # tiny cadences do not turn scheduler jitter into failures.
+        assert batcher.default_result_timeout == max(1.0, 50.0 * 0.002)
+        pending = batcher.submit("t", ["x"], {})
+        assert pending.default_timeout == batcher.default_result_timeout
+    finally:
+        batcher.close()
+    # A waiter whose batch never flushes wakes with a diagnosable error
+    # instead of blocking forever.
+    orphan = PendingQuery("t", {}, default_timeout=0.05)
+    with pytest.raises(ServingError, match="timed out"):
+        orphan.result()
+
+
 # --------------------------------------------------------------------- #
 # Facade + chaos
 # --------------------------------------------------------------------- #

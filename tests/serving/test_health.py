@@ -1,0 +1,257 @@
+"""Replica health scoring, the state machine, and the probe loop."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ServingError
+from repro.serving.health import (
+    ACTIVE,
+    EJECTED,
+    PROBATION,
+    HealthPolicy,
+    HealthProber,
+    QuantileTracker,
+    ReplicaHealth,
+)
+from repro.serving.server import QueryResult, STATUS_FAILED, STATUS_OK
+
+
+# --------------------------------------------------------------------- #
+# QuantileTracker
+# --------------------------------------------------------------------- #
+
+
+def test_quantile_tracker_converges_near_p95():
+    qt = QuantileTracker(0.95)
+    rng = np.random.default_rng(0)
+    for x in rng.random(5000):
+        qt.update(x)
+    # Streaming SGD estimate: generous band around the true 0.95.
+    assert 0.80 < qt.value < 1.10
+
+
+def test_quantile_tracker_is_scale_free():
+    # Millisecond-scale samples track just as well as second-scale.
+    qt = QuantileTracker(0.5)
+    rng = np.random.default_rng(1)
+    for x in rng.random(5000) * 1e-3:
+        qt.update(x)
+    assert 0.3e-3 < qt.value < 0.7e-3
+
+
+def test_quantile_tracker_validates():
+    with pytest.raises(ServingError):
+        QuantileTracker(0.0)
+    with pytest.raises(ServingError):
+        QuantileTracker(0.5, step=0.0)
+
+
+# --------------------------------------------------------------------- #
+# HealthPolicy
+# --------------------------------------------------------------------- #
+
+
+def test_policy_validation():
+    HealthPolicy()  # defaults are self-consistent
+    with pytest.raises(ServingError):
+        HealthPolicy(alpha=0.0)
+    with pytest.raises(ServingError):
+        HealthPolicy(eject_below=1.0)
+    with pytest.raises(ServingError):
+        HealthPolicy(min_samples=0)
+    with pytest.raises(ServingError):
+        HealthPolicy(readmit_after=0)
+    with pytest.raises(ServingError):
+        HealthPolicy(latency_ref_s=0.0)
+    with pytest.raises(ServingError):
+        HealthPolicy(quantile=1.0)
+    with pytest.raises(ServingError):
+        # Suspect threshold must sit strictly above the eject floor.
+        HealthPolicy(eject_below=0.5, suspect_below=0.4)
+
+
+# --------------------------------------------------------------------- #
+# ReplicaHealth state machine
+# --------------------------------------------------------------------- #
+
+
+def test_healthy_replica_scores_near_one():
+    h = ReplicaHealth()
+    for _ in range(20):
+        h.record(ok=True, latency_s=0.001)
+    assert h.state == ACTIVE
+    assert h.score > 0.95
+
+
+def test_failures_eject_after_min_samples():
+    h = ReplicaHealth(HealthPolicy(min_samples=5))
+    ejected_at = None
+    for i in range(10):
+        if h.record(ok=False, latency_s=0.01):
+            ejected_at = i
+            break
+    assert h.state == EJECTED
+    assert ejected_at is not None and ejected_at >= 4  # not before min_samples
+    assert h.n_ejections == 1
+    # Already-ejected replicas do not re-eject on further failures.
+    assert h.record(ok=False) is False
+    assert h.n_ejections == 1
+
+
+def test_slow_but_correct_replica_degrades_via_latency_factor():
+    h = ReplicaHealth(HealthPolicy(latency_ref_s=0.01))
+    for _ in range(20):
+        h.record(ok=True, latency_s=0.1)  # 10x the reference latency
+    assert h.error_rate == 0.0
+    assert h.score < 0.2  # latency factor alone pulled it down
+    assert h.state == EJECTED
+
+
+def test_deadline_misses_count_against_score():
+    h = ReplicaHealth()
+    for _ in range(10):
+        h.record(ok=True, deadline_miss=True, latency_s=0.001)
+    assert h.miss_rate > 0.6
+    assert h.score < 0.4
+
+
+def test_probe_walk_ejected_probation_active():
+    policy = HealthPolicy(min_samples=1, readmit_after=2, alpha=1.0)
+    h = ReplicaHealth(policy)
+    h.record(ok=False)
+    assert h.state == EJECTED
+    # Clean canary: one step toward readmission.
+    assert h.probe_outcome(True) is False
+    assert h.state == PROBATION
+    # A failed canary resets the streak.
+    assert h.probe_outcome(False) is False
+    assert h.state == EJECTED
+    # Two consecutive clean canaries readmit.
+    assert h.probe_outcome(True) is False
+    assert h.probe_outcome(True) is True
+    assert h.state == ACTIVE
+    assert h.n_readmissions == 1
+    # Readmission resets the EWMAs: the replica starts clean.
+    assert h.error_rate == 0.0 and h.score > 0.99
+    # Probing an ACTIVE replica is a no-op.
+    assert h.probe_outcome(True) is False
+
+
+def test_manual_eject():
+    h = ReplicaHealth()
+    h.eject()
+    assert h.state == EJECTED and h.n_ejections == 1
+    h.eject()  # idempotent while already ejected
+    assert h.n_ejections == 1
+
+
+def test_snapshot_fields():
+    h = ReplicaHealth(name="s0.r1")
+    h.record(ok=True, latency_s=0.002)
+    snap = h.snapshot()
+    assert snap["name"] == "s0.r1" and snap["state"] == ACTIVE
+    assert snap["samples"] == 1 and 0.0 <= snap["score"] <= 1.0
+
+
+# --------------------------------------------------------------------- #
+# HealthProber (driven by hand against a stub group)
+# --------------------------------------------------------------------- #
+
+
+class _StubGroup:
+    """Probe surface of ReplicaGroup with scripted canary outcomes."""
+
+    def __init__(self, healths, clean):
+        self.health = healths
+        self._clean = clean  # per-replica bool
+        self.restored = []
+        self.canaried = []
+
+    def canary(self, idx):
+        self.canaried.append(idx)
+        ok = self._clean[idx]
+        # Canaries feed the same health EWMAs as live traffic.
+        self.health[idx].record(ok=ok, latency_s=0.001)
+        return QueryResult(status=STATUS_OK if ok else STATUS_FAILED)
+
+    def restore_replica(self, idx):
+        self.restored.append(idx)
+
+
+def test_prober_skips_healthy_probes_ejected_and_readmits():
+    policy = HealthPolicy(min_samples=1, readmit_after=2)
+    healths = [ReplicaHealth(policy, name="r0"), ReplicaHealth(policy, name="r1")]
+    for h in healths:
+        for _ in range(3):
+            h.record(ok=True, latency_s=0.001)
+    healths[1].record(ok=False)
+    healths[1].eject()
+    group = _StubGroup(healths, clean=[True, True])
+
+    prober = HealthProber([group], interval_s=0.01)
+    assert prober.probe_once() == 1  # only the ejected replica
+    assert group.canaried == [1]
+    assert healths[1].state == PROBATION
+    assert prober.probe_once() == 1
+    assert healths[1].state == ACTIVE
+    # Readmission ran the breaker-reset hook exactly once.
+    assert group.restored == [1]
+    assert prober.n_readmitted == 1
+    # Everyone healthy now: nothing left to probe.
+    assert prober.probe_once() == 0
+
+
+def test_prober_ejects_broken_suspects_via_canaries():
+    """An ACTIVE replica under the suspect threshold keeps getting
+    canaried; when the canaries fail, their recorded outcomes decay it
+    all the way to EJECTED — the detection half of the probe loop."""
+    policy = HealthPolicy(min_samples=2, suspect_below=0.85)
+    h = ReplicaHealth(policy, name="r0")
+    for _ in range(5):
+        h.record(ok=True, latency_s=0.001)
+    h.record(ok=False)  # one blackout-era failure before starvation
+    assert h.state == ACTIVE and h.score < policy.suspect_below
+    group = _StubGroup([h], clean=[False])
+    prober = HealthProber([group], interval_s=0.01)
+    for _ in range(10):
+        prober.probe_once()
+        if h.state == EJECTED:
+            break
+    assert h.state == EJECTED  # bounded number of cycles, no live traffic
+
+
+def test_prober_recovers_healthy_suspects_without_ejecting():
+    policy = HealthPolicy(min_samples=2, suspect_below=0.85)
+    h = ReplicaHealth(policy, name="r0")
+    for _ in range(5):
+        h.record(ok=True, latency_s=0.001)
+    h.record(ok=False)  # transient blip; the replica is actually fine
+    group = _StubGroup([h], clean=[True])
+    prober = HealthProber([group], interval_s=0.01)
+    for _ in range(20):
+        prober.probe_once()
+    assert h.state == ACTIVE
+    assert h.score >= policy.suspect_below  # clean canaries pulled it back
+    assert prober.probe_once() == 0  # no longer suspect
+
+
+def test_prober_thread_lifecycle():
+    policy = HealthPolicy(min_samples=1, readmit_after=1, alpha=1.0)
+    h = ReplicaHealth(policy)
+    h.record(ok=False)
+    group = _StubGroup([h], clean=[True])
+    prober = HealthProber([group], interval_s=0.01).start()
+    try:
+        assert prober.running
+        deadline = 200
+        while not h.active and deadline:
+            deadline -= 1
+            import time
+
+            time.sleep(0.01)
+        assert h.active  # the background loop readmitted it
+    finally:
+        prober.stop()
+    assert not prober.running
+    with pytest.raises(ServingError):
+        HealthProber([group], interval_s=0.0)

@@ -1,0 +1,362 @@
+"""Replica groups: failover, hedging, and the seeded blackout chaos suite."""
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ServingError
+from repro.serving.breaker import CLOSED
+from repro.serving.fabric import (
+    HedgePolicy,
+    ReplicaGroup,
+    ShardRouter,
+    build_fabric,
+)
+from repro.serving.faults import ReplicaFaultInjector
+from repro.serving.health import ACTIVE, EJECTED
+from repro.serving.server import STATUS_FAILED, ModelServer
+
+
+def _svc(model, k=0):
+    return [n for n in model.network.nodes if n != model.response][k]
+
+
+@pytest.fixture
+def fresh_models(ediamond_env, ediamond_data):
+    from repro.core.kertbn import build_discrete_kertbn
+
+    train, _ = ediamond_data
+    return [
+        build_discrete_kertbn(ediamond_env.workflow, train, n_bins=4)
+        for _ in range(2)
+    ]
+
+
+def _group(model, n=2, **kwargs):
+    return ReplicaGroup(
+        [ModelServer(model, rng=0) for _ in range(n)], name="g", **kwargs
+    )
+
+
+# --------------------------------------------------------------------- #
+# ModelServer-compatible surface
+# --------------------------------------------------------------------- #
+
+
+def test_group_construction_validates(fresh_models):
+    with pytest.raises(ServingError):
+        ReplicaGroup([])
+    g = _group(fresh_models[0])
+    with pytest.raises(ServingError):
+        g.inject_fault(5, ReplicaFaultInjector())
+
+
+def test_group_delegates_like_a_single_server(fresh_models):
+    model = fresh_models[0]
+    group = _group(model)
+    direct = ModelServer(model, rng=0)
+    r = group.query([model.response], {}, binned=True)
+    expected = direct.query([model.response], {}, binned=True)
+    assert r.ok
+    np.testing.assert_allclose(r.value, expected.value)
+    # The surface the router/batcher/harness rely on.
+    assert group.chain is not None
+    assert CLOSED in {b.state for b in group.breakers.values()}
+    assert group.model is model and group.version is None
+    assert group.batch_ready
+    # `stats` tracks the *current* primary (which may reorder after the
+    # first latency sample); the aggregate sees every replica.
+    assert group.replicas[0].stats.n_ok == 1
+    agg = group.stats_dict()
+    assert agg["n_queries"] == 1
+    group.close()
+
+
+def test_single_replica_wrapping_preserves_router_behavior(fresh_models):
+    # Bare ModelServers passed to ShardRouter become 1-replica groups.
+    server = ModelServer(fresh_models[0], rng=0)
+    router = ShardRouter([server])
+    assert isinstance(router.shards[0], ReplicaGroup)
+    assert router.shards[0].replicas == (server,)
+    model = fresh_models[0]
+    r = router.query("t", [model.response], {}, binned=True)
+    assert r.ok and server.stats.n_ok == 1
+
+
+# --------------------------------------------------------------------- #
+# Failover
+# --------------------------------------------------------------------- #
+
+
+def test_failover_answers_through_the_sibling(fresh_models):
+    model = fresh_models[0]
+    group = _group(model)
+    inj = ReplicaFaultInjector(rng=0)
+    inj.blackout()
+    group.inject_fault(0, inj)
+    for _ in range(10):
+        r = group.query([model.response], {}, binned=True)
+        assert r.ok  # never a failed answer: the sibling covers
+    assert group.n_failovers >= 1
+    assert group.n_exhausted == 0
+    # The failed replica is demoted: the healthy sibling is primary now.
+    assert group.order()[0] == 1
+    # Replica 0's server never saw the blacked-out calls.
+    assert group.replicas[0].stats.n_queries == 0
+    group.close()
+
+
+def test_exhausted_when_every_replica_is_black(fresh_models):
+    model = fresh_models[0]
+    group = _group(model)
+    for i in range(2):
+        inj = ReplicaFaultInjector(rng=i)
+        inj.blackout()
+        group.inject_fault(i, inj)
+    r = group.query([model.response], {}, binned=True)
+    assert r.status == STATUS_FAILED
+    assert "fault" in r.tier_errors
+    assert group.n_exhausted == 1
+    group.close()
+
+
+def test_batch_failover_counts_every_row_once(fresh_models, ediamond_data):
+    train, _ = ediamond_data
+    model = fresh_models[0]
+    svc = _svc(model)
+    group = _group(model)
+    inj = ReplicaFaultInjector(rng=0)
+    inj.blackout()
+    group.inject_fault(0, inj)
+    rows = [{svc: float(np.mean(train[svc]))} for _ in range(6)]
+    results = group.query_batch([model.response], rows)
+    assert len(results) == 6 and all(r.ok for r in results)
+    # Only the answering replica's stats saw the rows — no double count.
+    assert group.replicas[0].stats.n_queries == 0
+    assert group.replicas[1].stats.n_queries == 6
+    group.close()
+
+
+def test_injected_faults_never_touch_replica_stats(fresh_models):
+    model = fresh_models[0]
+    group = _group(model, n=1)
+    inj = ReplicaFaultInjector(rng=0)
+    inj.blackout(duration=3)
+    group.inject_fault(0, inj)
+    for _ in range(3):
+        r = group.query([model.response], {}, binned=True)
+        assert r.status == STATUS_FAILED  # sole replica, no failover
+    assert group.replicas[0].stats.n_queries == 0  # unreachable, not failing
+    assert group.n_faults_injected == 3
+    r = group.query([model.response], {}, binned=True)
+    assert r.ok  # window over
+    group.close()
+
+
+# --------------------------------------------------------------------- #
+# Hedged requests
+# --------------------------------------------------------------------- #
+
+
+def test_hedge_policy_validates():
+    with pytest.raises(ServingError):
+        HedgePolicy(min_delay_s=0.0)
+    with pytest.raises(ServingError):
+        HedgePolicy(multiplier=0.0)
+    with pytest.raises(ServingError):
+        HedgePolicy(warmup=0)
+
+
+def test_hedge_backup_beats_a_stalled_primary(fresh_models):
+    model = fresh_models[0]
+    group = _group(model, hedge=HedgePolicy(min_delay_s=0.02))
+    inj = ReplicaFaultInjector(rng=0)
+    inj.latency_storm(0.25)  # primary stalls every call
+    group.inject_fault(0, inj)
+    t0 = time.monotonic()
+    r = group.query([model.response], {}, binned=True)
+    elapsed = time.monotonic() - t0
+    assert r.ok
+    assert elapsed < 0.2  # the hedge answered well before the stall
+    assert group.n_hedges_issued >= 1 and group.n_hedges_won >= 1
+    group.close()
+
+
+def test_hedge_accounting_invariant(fresh_models):
+    model = fresh_models[0]
+    # Stall BOTH replicas past the hedge delay: every call hedges, and
+    # the primary (stalled first) usually beats the later backup — the
+    # wasted-hedge path.
+    group = _group(model, hedge=HedgePolicy(min_delay_s=0.002))
+    for i in range(2):
+        inj = ReplicaFaultInjector(rng=i)
+        inj.latency_storm(0.02)
+        group.inject_fault(i, inj)
+    for _ in range(6):
+        assert group.query([model.response], {}, binned=True).ok
+    assert group.n_hedges_issued == 6
+    assert (
+        group.n_hedges_won + group.n_hedges_wasted == group.n_hedges_issued
+    )
+    assert group.n_hedges_wasted >= 1
+    group.close()
+
+
+def test_hedge_delay_adapts_to_observed_p95(fresh_models):
+    model = fresh_models[0]
+    group = _group(model, hedge=HedgePolicy(min_delay_s=0.001, warmup=4))
+    for _ in range(10):
+        group.latency.update(0.05)
+    # 2x the ~50ms p95, not the 1ms floor.
+    assert group.hedge_delay() == pytest.approx(0.1, rel=0.2)
+
+
+def test_hedge_disabled_for_single_replica(fresh_models):
+    model = fresh_models[0]
+    group = _group(model, n=1, hedge=HedgePolicy(min_delay_s=1e-4))
+    assert group.query([model.response], {}, binned=True).ok
+    assert group.n_hedges_issued == 0
+    group.close()
+
+
+# --------------------------------------------------------------------- #
+# Probe-driven readmission through a real fabric
+# --------------------------------------------------------------------- #
+
+
+def test_probe_loop_ejects_and_readmits_blacked_out_replica(fresh_models):
+    fabric = build_fabric(
+        [fresh_models[0]],
+        n_replicas=2,
+        probe_interval_s=None,  # drive the prober by hand
+        max_batch=8,
+        max_wait_us=1000,
+        rng=0,
+    )
+    from repro.serving.health import HealthProber
+
+    model = fresh_models[0]
+    group = fabric.router.shards[0]
+    prober = HealthProber(fabric.router.shards, interval_s=0.01)
+    assert fabric.prober is None
+
+    inj = ReplicaFaultInjector(rng=0)
+    inj.blackout()
+    group.inject_fault(0, inj)
+    r = group.query([model.response], {}, binned=True)
+    assert r.ok  # failover covered the blackout
+
+    # Detection: the once-failed, now-starved replica is suspect; failed
+    # canaries decay it to EJECTED within a bounded number of cycles.
+    for _ in range(20):
+        prober.probe_once()
+        if group.health[0].state == EJECTED:
+            break
+    assert group.health[0].state == EJECTED
+
+    # Trip a breaker while unreachable: readmission must clear it.
+    group.replicas[0].breakers["compiled-einsum"].record_failure()
+
+    # Recovery: lift the fault; clean canaries readmit within
+    # readmit_after(+1) cycles and reset the replica's breakers.
+    inj.clear()
+    cycles = 0
+    for cycles in range(1, 21):
+        prober.probe_once()
+        if group.health[0].state == ACTIVE:
+            break
+    assert group.health[0].state == ACTIVE
+    assert cycles <= group.policy.readmit_after + 1
+    assert all(
+        b.state == CLOSED for b in group.replicas[0].breakers.values()
+    )
+    assert prober.n_readmitted == 1
+    fabric.close()
+
+
+# --------------------------------------------------------------------- #
+# Satellite: seeded mid-load blackout chaos test
+# --------------------------------------------------------------------- #
+
+
+def test_chaos_blackout_mid_load_no_hung_waiters_exact_accounting(
+    fresh_models, ediamond_data
+):
+    """Black out one replica mid-load under concurrent batched traffic.
+
+    Asserts the three failover-correctness properties: (1) zero hung
+    waiters — every submitted query resolves within its wait bound;
+    (2) per-tenant ServerStats row counts exactly match the rows each
+    tenant submitted; (3) the recovered replica is readmitted by the
+    probe loop within a bounded number of cycles.
+    """
+    train, _ = ediamond_data
+    model = fresh_models[0]
+    svc = _svc(model)
+    ev = {svc: float(np.mean(train[svc]))}
+    fabric = build_fabric(
+        fresh_models,
+        n_replicas=2,
+        hedge=True,
+        probe_interval_s=0.02,
+        max_batch=16,
+        max_wait_us=1500,
+        rng=0,
+    )
+    tenants = [f"tenant-{i}" for i in range(6)]
+    per_tenant = 40
+    n_workers = 8
+    inj = ReplicaFaultInjector(rng=11)
+    target_group = fabric.router.shards[0]
+
+    rng = np.random.default_rng(5)
+    order = rng.permutation(np.repeat(np.arange(len(tenants)), per_tenant))
+    fault_at = len(order) // 3
+    clear_at = 2 * len(order) // 3
+
+    def run(i):
+        # Seeded incident timeline interleaved with the load: blackout
+        # one replica a third of the way in, lift it at two thirds.
+        if i == fault_at:
+            inj.blackout()
+            target_group.inject_fault(0, inj)
+        elif i == clear_at:
+            inj.clear()
+        tenant = tenants[order[i]]
+        pending = fabric.submit(tenant, [model.response], ev)
+        # Zero hung waiters: the batcher-assigned default bound applies.
+        return tenant, pending.result()
+
+    try:
+        with ThreadPoolExecutor(n_workers) as ex:
+            results = list(ex.map(run, range(len(order))))
+    finally:
+        # Give the prober a bounded window to readmit the recovered
+        # replica before shutdown.
+        deadline = time.monotonic() + 10.0
+        while (
+            not target_group.health[0].active
+            and time.monotonic() < deadline
+        ):
+            time.sleep(0.02)
+        readmitted = target_group.health[0].active
+        prober_snap = fabric.prober.snapshot()
+        fabric.close()
+
+    assert len(results) == len(order)
+    statuses = [r.status for _, r in results]
+    # With a live sibling, a single-replica blackout must not surface
+    # failures (tenant budgets may shed a few under the storm).
+    answered = sum(1 for s in statuses if s != STATUS_FAILED)
+    assert answered / len(statuses) >= 0.99
+
+    # Exact per-tenant accounting: every submitted row in exactly that
+    # tenant's rollup, nothing lost, nothing double-counted.
+    for t in tenants:
+        submitted = int(np.sum(order == tenants.index(t)))
+        assert fabric.router.tenant_state(t).stats.n_queries == submitted
+
+    # Probe-driven readmission of the recovered replica.
+    assert readmitted, f"replica not readmitted; prober={prober_snap}"

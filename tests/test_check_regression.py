@@ -233,6 +233,68 @@ def test_serving_suite_absolute_gates_qps_and_tail_latency():
     assert any("p99_seconds" in f for f in failures)
 
 
+DEGRADED = {
+    "availability": 0.999,
+    "p99_seconds": 0.05,
+    "p99_over_healthy": 1.8,
+}
+
+
+def test_degraded_metrics_only_gate_when_baseline_has_them():
+    # Pre-replication baselines ignore the degraded section entirely.
+    fresh = copy.deepcopy(SERVING_BASELINE)
+    fresh["degraded"] = copy.deepcopy(DEGRADED)
+    failures, _ = gate.compare(
+        SERVING_BASELINE, fresh, suite="serving", absolute=True
+    )
+    assert failures == []
+    # Once the baseline carries them, a real availability drop fails.
+    base = copy.deepcopy(fresh)
+    worse = copy.deepcopy(base)
+    worse["degraded"]["availability"] = 0.5
+    failures, _ = gate.compare(base, worse, suite="serving")
+    assert any("availability" in f for f in failures)
+
+
+def test_degraded_tail_latency_needs_absolute_flag():
+    base = copy.deepcopy(SERVING_BASELINE)
+    base["degraded"] = copy.deepcopy(DEGRADED)
+    slow = copy.deepcopy(base)
+    slow["degraded"]["p99_seconds"] *= 5.0
+    slow["degraded"]["p99_over_healthy"] *= 5.0
+    failures, _ = gate.compare(base, slow, suite="serving")
+    assert failures == []  # machine-dependent, not gated by default
+    failures, _ = gate.compare(base, slow, suite="serving", absolute=True)
+    assert len(failures) == 2
+    assert any("p99_seconds" in f for f in failures)
+    assert any("p99_over_healthy" in f for f in failures)
+
+
+def test_availability_hard_floor_ignores_baseline_drift():
+    """A baseline that itself slipped below 99% cannot launder a fresh
+    sub-floor run through the relative tolerance."""
+    base = copy.deepcopy(SERVING_BASELINE)
+    base["degraded"] = copy.deepcopy(DEGRADED)
+    base["degraded"]["availability"] = 0.90  # drifted baseline
+    fresh = copy.deepcopy(base)
+    fresh["degraded"]["availability"] = 0.95  # within 30% of baseline...
+    failures, _ = gate.compare(base, fresh, suite="serving")
+    assert len(failures) == 1  # ...but below the absolute 0.99 contract
+    assert "hard-floor" in failures[0]
+
+    ok_fresh = copy.deepcopy(base)
+    ok_fresh["degraded"]["availability"] = 0.995
+    failures, _ = gate.compare(base, ok_fresh, suite="serving")
+    assert failures == []
+
+
+def test_dropping_degraded_metrics_is_a_schema_error():
+    base = copy.deepcopy(SERVING_BASELINE)
+    base["degraded"] = copy.deepcopy(DEGRADED)
+    with pytest.raises(SystemExit, match="degraded.availability"):
+        gate.compare(base, SERVING_BASELINE, suite="serving")
+
+
 def test_gate_accepts_the_committed_serving_baseline():
     """The real BENCH_serving.json must satisfy the serving suite."""
     committed = _GATE.parent.parent / "BENCH_serving.json"

@@ -175,7 +175,7 @@ def test_serve_fabric_subcommand(workspace, capsys):
         "--burst", "8", "--observe", "X1=0.2",
     ) == 0
     out = capsys.readouterr().out
-    assert "shards=4 tenants=6 queries=200" in out
+    assert "shards=4 replicas=1 tenants=6 queries=200" in out
     assert "sustained:" in out and "p99=" in out
     assert "coalesce:" in out
     # Per-tenant table: every tenant served and stayed healthy.
