@@ -19,6 +19,12 @@ Two benchmark payloads are guarded:
   section, blackout availability is floored (relative to baseline *and*
   a hard 0.99 contract) and degraded tail latency is ceilinged under
   ``--absolute``.
+- ``--suite corpus`` — ``benchmarks/test_corpus_matrix.py`` persists
+  ``BENCH_corpus.json`` (KERT-BN vs NRT-BN over the scenario-corpus
+  matrix); the gate keeps the knowledge-enhanced model's accuracy win
+  fraction, its median per-row likelihood advantage, and the
+  construction-cost ratio over K2 search from eroding, with a hard
+  floor requiring KERT-BN to win at least half the corpus.
 
 Each guarded metric has a *direction*: for higher-is-better metrics
 (speedup ratios) the gate fails when ``fresh < baseline * (1 -
@@ -150,6 +156,41 @@ SUITES = {
                 "availability",
                 "availability floor under blackout",
                 0.99,
+            ),
+        ),
+    },
+    "corpus": {
+        # All three are machine-independent or same-machine ratios: the
+        # accuracy win fraction and likelihood gap are deterministic
+        # given the corpus seeds; both build times come from one run.
+        "lower": (
+            (
+                "summary",
+                "kert_win_fraction",
+                "KERT-BN accuracy win fraction",
+            ),
+            (
+                "summary",
+                "median_log10_gap_per_row",
+                "median per-row log10-likelihood gap",
+            ),
+            (
+                "summary",
+                "nrt_over_kert_build_median",
+                "median NRT/KERT build-cost ratio",
+            ),
+        ),
+        "lower_absolute": (),
+        "upper": (),
+        "upper_absolute": (),
+        # The paper's claim, as an absolute contract: knowledge-enhanced
+        # construction must out-model K2 on at least half the corpus.
+        "hard_floors": (
+            (
+                "summary",
+                "kert_win_fraction",
+                "KERT-BN corpus win-fraction floor",
+                0.5,
             ),
         ),
     },

@@ -14,6 +14,10 @@ Subcommands
 - ``score``            — test log10-likelihood of a saved model.
 - ``assess``           — response-time assessment / violation probability.
 - ``dcomp``            — posterior of an unobservable service.
+- ``corpus``           — scenario corpus: ``list`` the cells of the
+  (family × size × delay-regime) matrix, ``generate`` workflow JSON +
+  simulated CSV + manifest for cells, or ``run`` the KERT-BN vs NRT-BN
+  comparison per cell and print the summary.
 - ``registry``         — versioned model store: list/publish/activate/rollback.
 - ``serve``            — guarded one-shot query through the fallback chain.
 - ``serve-fabric``     — stand up the sharded multi-tenant fabric and
@@ -259,6 +263,83 @@ def cmd_dashboard(args: argparse.Namespace) -> int:
         print(f"wrote dashboard summary to {args.out}")
     elif not args.html or args.print:
         print(render_terminal(snap))
+    return 0
+
+
+def _corpus_cells(args: argparse.Namespace):
+    from repro.corpus import default_corpus, spec_by_name
+
+    sizes = tuple(int(s) for s in args.sizes.split(",")) if args.sizes else (10, 40)
+    corpus = default_corpus(sizes=sizes)
+    if args.cell:
+        return tuple(spec_by_name(name, corpus) for name in args.cell)
+    return corpus
+
+
+def cmd_corpus(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.bn.csvio import dataset_to_csv
+    from repro.corpus import build_scenario, format_cell_report, run_cell, summarize
+    from repro.workflow.parser import workflow_to_json
+
+    cells = _corpus_cells(args)
+    if args.action == "list":
+        for spec in cells:
+            print(spec.describe())
+        return 0
+    if args.action == "generate":
+        if not args.out_dir:
+            raise SystemExit("corpus generate needs --out-dir DIR")
+        for spec in cells:
+            scenario = build_scenario(spec, seed=args.seed)
+            cell_dir = os.path.join(args.out_dir, spec.name)
+            os.makedirs(cell_dir, exist_ok=True)
+            with open(os.path.join(cell_dir, "workflow.json"), "w") as fh:
+                fh.write(workflow_to_json(scenario.env.workflow, indent=2))
+            data = scenario.env.simulate(args.points, rng=args.seed + 1)
+            dataset_to_csv(data, os.path.join(cell_dir, "data.csv"))
+            manifest = {
+                "cell": spec.name,
+                "seed": args.seed,
+                "n_points": data.n_rows,
+                "family": spec.family,
+                "n_services": spec.n_services,
+                "delay": spec.delay,
+                "arrivals": spec.arrivals,
+                "failure_storm": spec.failure_storm,
+                "utilization": spec.utilization,
+                "f": scenario.f.to_string(),
+            }
+            with open(os.path.join(cell_dir, "scenario.json"), "w") as fh:
+                json.dump(manifest, fh, indent=2)
+                fh.write("\n")
+            print(
+                f"{spec.name}: wrote workflow.json, scenario.json and "
+                f"{data.n_rows} data points under {cell_dir}"
+            )
+        return 0
+    # run — the KERT-BN vs NRT-BN comparison per cell, plus the summary
+    results = {}
+    for spec in cells:
+        cell = run_cell(
+            spec, seed=args.seed, n_train=args.train, n_test=args.test
+        )
+        results[spec.name] = cell
+        print(format_cell_report(spec.name, cell))
+    summary = summarize(results)
+    print(
+        f"summary: {summary['n_cells']} cells, "
+        f"KERT-BN wins {summary['kert_win_fraction']:.0%}, "
+        f"median gap {summary['median_log10_gap_per_row']:+.3f} "
+        f"log10/row, median build ratio "
+        f"{summary['nrt_over_kert_build_median']:.1f}x"
+    )
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump({"cells": results, "summary": summary}, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote corpus results to {args.json}")
     return 0
 
 
@@ -577,6 +658,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--observe", action="append", metavar="NAME=VALUE")
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(fn=cmd_dcomp)
+
+    p = sub.add_parser(
+        "corpus",
+        help="scenario corpus: list cells, generate scenario data, or "
+        "run the KERT-BN vs NRT-BN comparison matrix",
+    )
+    p.add_argument("action", choices=("list", "generate", "run"))
+    p.add_argument("--cell", action="append", metavar="NAME",
+                   help="restrict to this cell, e.g. mixed_n10_mmk "
+                   "(repeatable; default: every cell)")
+    p.add_argument("--sizes", metavar="N,N,...",
+                   help="environment sizes for the corpus grid "
+                   "(default: 10,40)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--points", type=int, default=200,
+                   help="dataset rows per cell (generate only)")
+    p.add_argument("--out-dir", metavar="DIR",
+                   help="write per-cell workflow.json / data.csv / "
+                   "scenario.json under DIR (generate only)")
+    p.add_argument("--train", type=int, default=60,
+                   help="training rows per cell (run only)")
+    p.add_argument("--test", type=int, default=120,
+                   help="test rows per cell (run only)")
+    p.add_argument("--json", metavar="PATH",
+                   help="also write cells + summary as JSON (run only)")
+    p.set_defaults(fn=cmd_corpus)
 
     p = sub.add_parser("registry", help="versioned model registry")
     p.add_argument("action", choices=("list", "publish", "activate", "rollback"))

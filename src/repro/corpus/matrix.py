@@ -1,0 +1,136 @@
+"""KERT-BN vs NRT-BN comparison over corpus cells.
+
+:func:`run_cell` realizes one corpus scenario, draws fresh train/test
+data, builds the continuous KERT-BN (workflow knowledge) and NRT-BN (K2
+structure search) on the same training set, and records the paper's two
+currencies for each model: *accuracy* (per-row test log10-likelihood)
+and *cost* (construction seconds, likelihood-scoring throughput).
+:func:`summarize` folds the per-cell records into the aggregate metrics
+``check_regression.py --suite corpus`` gates.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Mapping
+
+import numpy as np
+
+from repro.corpus.generate import GeneratedScenario, build_scenario
+from repro.corpus.spec import ScenarioSpec
+from repro.core.kertbn import build_continuous_kertbn
+from repro.core.nrtbn import build_continuous_nrtbn
+from repro.exceptions import SimulationError
+
+DEFAULT_N_TRAIN = 60
+DEFAULT_N_TEST = 120
+
+
+def _score_throughput(model, data, min_seconds: float = 0.05) -> float:
+    """Likelihood-scoring rows/second (the serving-side inference cost)."""
+    model.log10_likelihood(data)  # warm caches outside the timing
+    reps = 0
+    t0 = time.perf_counter()
+    while True:
+        model.log10_likelihood(data)
+        reps += 1
+        elapsed = time.perf_counter() - t0
+        if elapsed >= min_seconds or reps >= 50:
+            break
+    return reps * data.n_rows / elapsed
+
+
+def run_cell(
+    spec: ScenarioSpec,
+    seed: int = 0,
+    n_train: int = DEFAULT_N_TRAIN,
+    n_test: int = DEFAULT_N_TEST,
+    scenario: "GeneratedScenario | None" = None,
+) -> dict:
+    """Run the KERT-BN vs NRT-BN comparison for one corpus cell."""
+    if n_train < 2 or n_test < 2:
+        raise SimulationError("need n_train >= 2 and n_test >= 2")
+    if scenario is None:
+        scenario = build_scenario(spec, seed)
+    env = scenario.env
+    train, test = env.train_test(n_train, n_test, rng=seed + 1)
+
+    kert = build_continuous_kertbn(env.workflow, train)
+    nrt = build_continuous_nrtbn(train, rng=seed + 2)
+
+    kert_ll = kert.log10_likelihood(test) / test.n_rows
+    nrt_ll = nrt.log10_likelihood(test) / test.n_rows
+    kert_build = kert.report.construction_seconds
+    nrt_build = nrt.report.construction_seconds
+    return {
+        "family": spec.family,
+        "n_services": spec.n_services,
+        "delay": spec.delay,
+        "arrivals": spec.arrivals,
+        "failure_storm": spec.failure_storm,
+        "seed": seed,
+        "n_train": n_train,
+        "n_test": n_test,
+        "f_depth": scenario.env.workflow.depth(),
+        "kert": {
+            "log10_per_row": float(kert_ll),
+            "build_s": float(kert_build),
+            "score_rows_per_s": _score_throughput(kert, test),
+        },
+        "nrt": {
+            "log10_per_row": float(nrt_ll),
+            "build_s": float(nrt_build),
+            "score_rows_per_s": _score_throughput(nrt, test),
+        },
+        "log10_gap_per_row": float(kert_ll - nrt_ll),
+        "nrt_over_kert_build": float(
+            nrt_build / kert_build if kert_build > 0 else float("inf")
+        ),
+        "kert_win": bool(kert_ll >= nrt_ll - 1e-9),
+    }
+
+
+def summarize(cells: Mapping[str, Mapping]) -> dict:
+    """Aggregate per-cell records into the gated corpus metrics.
+
+    - ``kert_win_fraction`` — fraction of cells where KERT-BN's test
+      likelihood is at least NRT-BN's (the paper's accuracy claim);
+    - ``median_log10_gap_per_row`` — median per-row likelihood advantage
+      (median, because NRT-BN degrades catastrophically on large cells
+      and a mean would be dominated by those outliers);
+    - ``nrt_over_kert_build_median`` — median construction-cost ratio
+      (machine-independent: both builds run on the same machine).
+    """
+    if not cells:
+        raise SimulationError("no corpus cells to summarize")
+    gaps = [float(c["log10_gap_per_row"]) for c in cells.values()]
+    ratios = [float(c["nrt_over_kert_build"]) for c in cells.values()]
+    wins = [bool(c["kert_win"]) for c in cells.values()]
+    return {
+        "n_cells": len(wins),
+        "kert_win_fraction": float(np.mean(wins)),
+        "median_log10_gap_per_row": float(np.median(gaps)),
+        "mean_log10_gap_per_row": float(np.mean(gaps)),
+        "nrt_over_kert_build_median": float(np.median(ratios)),
+    }
+
+
+def format_cell_report(name: str, cell: Mapping) -> str:
+    """One cell's human-readable comparison (nightly CI artifact)."""
+    k, n = cell["kert"], cell["nrt"]
+    lines = [
+        f"== corpus cell {name} ==",
+        f"family={cell['family']} n_services={cell['n_services']} "
+        f"delay={cell['delay']} arrivals={cell['arrivals']} "
+        f"failure_storm={cell['failure_storm']} seed={cell['seed']}",
+        f"{'':14s}{'KERT-BN':>14s}{'NRT-BN':>14s}",
+        f"{'log10/row':14s}{k['log10_per_row']:>14.4f}"
+        f"{n['log10_per_row']:>14.4f}",
+        f"{'build (s)':14s}{k['build_s']:>14.6f}{n['build_s']:>14.6f}",
+        f"{'score rows/s':14s}{k['score_rows_per_s']:>14.0f}"
+        f"{n['score_rows_per_s']:>14.0f}",
+        f"gap/row={cell['log10_gap_per_row']:+.4f} "
+        f"build-ratio={cell['nrt_over_kert_build']:.1f}x "
+        f"winner={'KERT-BN' if cell['kert_win'] else 'NRT-BN'}",
+    ]
+    return "\n".join(lines)

@@ -17,51 +17,61 @@ six-service system), :func:`repro.simulator.scenarios.random_env.random_environm
 """
 
 from repro.simulator.delays import (
+    GG1,
     DelayDistribution,
-    Exponential,
-    LogNormal,
-    Gamma,
     Deterministic,
-    Uniform,
+    Exponential,
+    Gamma,
+    LogNormal,
+    MMk,
     Shifted,
+    Uniform,
+    erlang_c,
+    kingman_waiting_time,
 )
-from repro.simulator.service import ServiceSpec, Host
 from repro.simulator.engine import Engine, TransactionRecord
-from repro.simulator.workload import (
-    OpenWorkload,
-    ClosedWorkload,
-    BurstyWorkload,
-    FixedIntervalWorkload,
-)
-from repro.simulator.faults import FaultSchedule, Degradation
-from repro.simulator.report import analyze_trace, format_report
-from repro.simulator.monitoring import MonitoringAgent, ManagementServer
 from repro.simulator.environment import SimulatedEnvironment
-from repro.simulator.traces import trace_to_dataset, inject_missing
+from repro.simulator.faults import Degradation, FaultSchedule
+from repro.simulator.monitoring import ManagementServer, MonitoringAgent
+from repro.simulator.report import analyze_trace, format_report
+from repro.simulator.service import Host, ServiceSpec
+from repro.simulator.traces import inject_missing, trace_to_dataset
+from repro.simulator.workload import (
+    BurstyWorkload,
+    ClosedWorkload,
+    DiurnalWorkload,
+    FixedIntervalWorkload,
+    OpenWorkload,
+)
 
 __all__ = [
+    "GG1",
     "DelayDistribution",
-    "Exponential",
-    "LogNormal",
-    "Gamma",
     "Deterministic",
-    "Uniform",
+    "Exponential",
+    "Gamma",
+    "LogNormal",
+    "MMk",
     "Shifted",
-    "ServiceSpec",
-    "Host",
+    "Uniform",
+    "erlang_c",
+    "kingman_waiting_time",
     "Engine",
     "TransactionRecord",
-    "OpenWorkload",
-    "ClosedWorkload",
-    "BurstyWorkload",
-    "FixedIntervalWorkload",
-    "FaultSchedule",
+    "SimulatedEnvironment",
     "Degradation",
+    "FaultSchedule",
+    "ManagementServer",
+    "MonitoringAgent",
     "analyze_trace",
     "format_report",
-    "MonitoringAgent",
-    "ManagementServer",
-    "SimulatedEnvironment",
-    "trace_to_dataset",
+    "Host",
+    "ServiceSpec",
     "inject_missing",
+    "trace_to_dataset",
+    "BurstyWorkload",
+    "ClosedWorkload",
+    "DiurnalWorkload",
+    "FixedIntervalWorkload",
+    "OpenWorkload",
 ]

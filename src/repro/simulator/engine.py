@@ -97,7 +97,9 @@ class Engine:
         for st in self._services.values():
             if st.spec.host not in self._hosts:
                 # Auto-create contention-free hosts for unplaced services.
-                self._hosts.setdefault(st.spec.host, _HostState(host=Host(st.spec.host)))
+                self._hosts.setdefault(
+                    st.spec.host, _HostState(host=Host(st.spec.host))
+                )
 
         self._heap: list[tuple[float, int, Callable[[], None]]] = []
         self._seq = itertools.count()
@@ -248,7 +250,9 @@ class Engine:
             for i, t in enumerate(arrivals)
         ]
         if self.demand_sigma:
-            demands = np.exp(self.rng.normal(0.0, self.demand_sigma, size=arrivals.size))
+            demands = np.exp(
+                self.rng.normal(0.0, self.demand_sigma, size=arrivals.size)
+            )
             for r, d in zip(records, demands):
                 r.demand = float(d)
 

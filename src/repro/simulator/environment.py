@@ -23,6 +23,7 @@ from repro.bn.dag import DAG
 from repro.bn.data import Dataset
 from repro.exceptions import SimulationError
 from repro.simulator.engine import Engine, TransactionRecord
+from repro.simulator.faults import FaultSchedule
 from repro.simulator.service import Host, ServiceSpec
 from repro.simulator.traces import trace_to_dataset, warmup_filter
 from repro.simulator.workload import OpenWorkload, Workload
@@ -45,6 +46,7 @@ class SimulatedEnvironment:
     measurement_noise: float = 0.02
     warmup: int = 20
     resource_groups: "Mapping[str, tuple[str, ...]] | None" = None
+    faults: "FaultSchedule | None" = None
 
     def __post_init__(self) -> None:
         self.services = tuple(self.services)
@@ -129,6 +131,7 @@ class SimulatedEnvironment:
             self.hosts,
             demand_sigma=self.demand_sigma,
             rng=rng,
+            faults=self.faults,
         )
         arrivals = self.workload.arrival_times(total, rng)
         records = engine.run(arrivals)

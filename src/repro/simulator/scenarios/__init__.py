@@ -1,6 +1,6 @@
 """Canned environments: the eDiaMoND test-bed and random simulation envs."""
 
-from repro.simulator.scenarios.ediamond import ediamond_scenario, EDIAMOND_ALIASES
+from repro.simulator.scenarios.ediamond import EDIAMOND_ALIASES, ediamond_scenario
 from repro.simulator.scenarios.random_env import random_environment
 
-__all__ = ["ediamond_scenario", "EDIAMOND_ALIASES", "random_environment"]
+__all__ = ["EDIAMOND_ALIASES", "ediamond_scenario", "random_environment"]

@@ -106,7 +106,9 @@ def ediamond_scenario(
         services = tuple(
             ServiceSpec(
                 s.name,
-                Scaled(s.delay, service_speedups[s.name]) if s.name in service_speedups else s.delay,
+                Scaled(s.delay, service_speedups[s.name])
+                if s.name in service_speedups
+                else s.delay,
                 host=s.host,
                 demand_sensitivity=s.demand_sensitivity,
                 upstream_coupling=s.upstream_coupling,

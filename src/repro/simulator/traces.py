@@ -75,7 +75,9 @@ def trace_to_dataset(
         data[response] = resp
         return Dataset(data)
     if aggregate != "window":
-        raise DataError(f"aggregate must be 'transactions' or 'window', got {aggregate!r}")
+        raise DataError(
+            f"aggregate must be 'transactions' or 'window', got {aggregate!r}"
+        )
     if t_data is None or not t_data > 0:
         raise DataError("window aggregation needs t_data > 0")
     order = np.argsort(completion)

@@ -11,27 +11,27 @@ service activities.  Two pieces of domain knowledge are derived from it:
 """
 
 from repro.workflow.constructs import (
-    WorkflowNode,
     Activity,
-    Sequence,
-    Parallel,
     Choice,
     Loop,
+    Parallel,
+    Sequence,
+    WorkflowNode,
 )
 from repro.workflow.expressions import (
-    Expression,
-    Var,
     Const,
-    Sum,
+    Expression,
     Max,
-    WeightedSum,
     Scale,
+    Sum,
+    Var,
+    WeightedSum,
 )
-from repro.workflow.response_time import ResponseTimeFunction, response_time_function
-from repro.workflow.timeout import timeout_count_function
-from repro.workflow.structure import workflow_edges, kert_bn_structure
 from repro.workflow.generator import random_workflow
-from repro.workflow.parser import workflow_to_dict, workflow_from_dict
+from repro.workflow.parser import workflow_from_dict, workflow_to_dict
+from repro.workflow.response_time import ResponseTimeFunction, response_time_function
+from repro.workflow.structure import kert_bn_structure, workflow_edges
+from repro.workflow.timeout import timeout_count_function
 
 __all__ = [
     "WorkflowNode",

@@ -149,7 +149,10 @@ class Choice(WorkflowNode):
             raise WorkflowError("Choice needs at least two branches")
         if len(self.probabilities) != len(self.branches):
             raise WorkflowError("one probability per Choice branch required")
-        if any(p < 0 for p in self.probabilities) or abs(sum(self.probabilities) - 1.0) > 1e-9:
+        if (
+            any(p < 0 for p in self.probabilities)
+            or abs(sum(self.probabilities) - 1.0) > 1e-9
+        ):
             raise WorkflowError(
                 f"Choice probabilities must be nonnegative and sum to 1, "
                 f"got {self.probabilities}"

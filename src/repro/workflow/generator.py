@@ -4,8 +4,10 @@ The Figure 3–5 experiments run over "simulated services … assembled
 together by different workflows".  :func:`random_workflow` produces a
 random composition of the four constructs over exactly ``n`` uniquely
 named services, with knobs for branching factor and which constructs are
-allowed (the evaluation figures use sequence/parallel shapes, matching
-the paper's response-time algebra of sums and maxes).
+allowed.  The evaluation figures use sequence/parallel shapes (the
+paper's response-time algebra of sums and maxes); the scenario corpus
+additionally enables the choice/loop paths, which therefore validate
+their probability knobs strictly here.
 """
 
 from __future__ import annotations
@@ -22,6 +24,17 @@ from repro.workflow.constructs import (
     Sequence,
     WorkflowNode,
 )
+
+#: Loop-termination guard: ``continue_prob`` above this makes expected
+#: iteration counts (``1/(1-p)``) explode and simulated transactions
+#: effectively never finish, so generation refuses it outright.
+MAX_LOOP_CONTINUE_PROB = 0.9
+
+
+def _check_prob(name: str, value: float) -> float:
+    if not 0.0 <= value <= 1.0:
+        raise WorkflowError(f"{name} must be in [0, 1], got {value}")
+    return float(value)
 
 
 def random_workflow(
@@ -40,12 +53,39 @@ def random_workflow(
     Services are named ``{service_prefix}{start_index}`` …; the recursive
     splitter partitions the name pool and chooses a construct for each
     composite node: Parallel with ``p_parallel``, Choice with
-    ``p_choice``, Loop wrapping with ``p_loop``, Sequence otherwise.
+    ``p_choice``, Sequence otherwise; any node is additionally wrapped in
+    a Loop with ``p_loop``.  Invalid probability combinations raise
+    :class:`~repro.exceptions.WorkflowError`: each probability must lie
+    in ``[0, 1]``, ``p_parallel + p_choice`` must not exceed 1 (they
+    split one draw), and ``loop_continue_prob`` must stay at or below
+    :data:`MAX_LOOP_CONTINUE_PROB` so generated loops terminate quickly
+    enough to simulate.
     """
     if n_services < 1:
         raise WorkflowError(f"need >= 1 service, got {n_services}")
+    p_parallel = _check_prob("p_parallel", p_parallel)
+    p_choice = _check_prob("p_choice", p_choice)
+    p_loop = _check_prob("p_loop", p_loop)
     if p_parallel + p_choice > 1.0:
-        raise WorkflowError("p_parallel + p_choice must be <= 1")
+        raise WorkflowError(
+            f"p_parallel + p_choice must be <= 1, got "
+            f"{p_parallel} + {p_choice} = {p_parallel + p_choice}"
+        )
+    if max_branches < 2:
+        raise WorkflowError(f"max_branches must be >= 2, got {max_branches}")
+    _check_prob("loop_continue_prob", loop_continue_prob)
+    if p_loop > 0.0 and loop_continue_prob > MAX_LOOP_CONTINUE_PROB:
+        expected = (
+            f"{1.0 / (1.0 - loop_continue_prob):.1f}"
+            if loop_continue_prob < 1.0
+            else "infinite"
+        )
+        raise WorkflowError(
+            f"loop_continue_prob={loop_continue_prob} exceeds the "
+            f"termination guard {MAX_LOOP_CONTINUE_PROB} (expected "
+            f"iterations 1/(1-p) = {expected} per loop would dominate "
+            f"every transaction)"
+        )
     rng = ensure_rng(rng)
     names = [f"{service_prefix}{start_index + i}" for i in range(n_services)]
 
@@ -69,6 +109,9 @@ def random_workflow(
                 node = Parallel(subtrees)
             elif u < p_parallel + p_choice and len(subtrees) >= 2:
                 probs = rng.dirichlet(np.ones(len(subtrees)))
+                # Renormalize: Dirichlet draws carry floating-point
+                # round-off and Choice validates the sum to 1e-9.
+                probs = probs / probs.sum()
                 node = Choice(subtrees, probs.tolist())
             else:
                 node = Sequence(subtrees)

@@ -57,7 +57,9 @@ def workflow_from_dict(spec: "dict[str, Any]") -> WorkflowNode:
     """Plain dict → AST, validating as it goes."""
     if not isinstance(spec, dict):
         raise WorkflowError(f"workflow spec must be a dict, got {type(spec)!r}")
-    kinds = [k for k in ("activity", "sequence", "parallel", "choice", "loop") if k in spec]
+    kinds = [
+        k for k in ("activity", "sequence", "parallel", "choice", "loop") if k in spec
+    ]
     if len(kinds) != 1:
         raise WorkflowError(
             f"spec must contain exactly one construct key, got {sorted(spec)}"

@@ -124,7 +124,9 @@ def kert_bn_structure(
         for rnode, members in resource_groups.items():
             members = tuple(members)
             if rnode in dag:
-                raise WorkflowError(f"resource node {rnode!r} collides with an existing node")
+                raise WorkflowError(
+                    f"resource node {rnode!r} collides with an existing node"
+                )
             unknown = [m for m in members if m not in services]
             if unknown:
                 raise WorkflowError(

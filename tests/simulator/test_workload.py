@@ -102,6 +102,32 @@ def test_bursty_workload_properties(rng):
         w.arrival_times(0)
 
 
+def test_diurnal_workload_modulation(rng):
+    from repro.simulator.workload import DiurnalWorkload
+
+    w = DiurnalWorkload(base_rate=2.0, amplitude=0.8, period=100.0)
+    t = w.arrival_times(20_000, rng)
+    assert len(t) == 20_000
+    assert np.all(np.diff(t) >= 0)
+    # The sinusoid must show: arrivals near the peak phase clearly
+    # outnumber arrivals near the trough phase.
+    phase = np.mod(t, 100.0) / 100.0
+    near_peak = np.sum(np.abs(phase - 0.25) < 0.1)
+    near_trough = np.sum(np.abs(phase - 0.75) < 0.1)
+    assert near_peak > 2 * near_trough
+    # rate_at honours base_rate·(1 + A·sin(...)).
+    assert w.rate_at(25.0) == pytest.approx(2.0 * 1.8)
+    assert w.rate_at(75.0) == pytest.approx(2.0 * 0.2)
+    with pytest.raises(SimulationError):
+        DiurnalWorkload(0.0)
+    with pytest.raises(SimulationError):
+        DiurnalWorkload(1.0, amplitude=1.0)
+    with pytest.raises(SimulationError):
+        DiurnalWorkload(1.0, period=0.0)
+    with pytest.raises(SimulationError):
+        w.arrival_times(0)
+
+
 def test_bursty_workload_drives_engine_bursts(rng):
     """Bursts must show up as queueing spikes downstream — the
     bottleneck-shift signal the KERT-BN edges model."""

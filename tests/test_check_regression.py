@@ -303,3 +303,75 @@ def test_gate_accepts_the_committed_serving_baseline():
         payload, payload, suite="serving", absolute=True
     )
     assert failures == []
+
+
+CORPUS_BASELINE = {
+    "summary": {
+        "n_cells": 27,
+        "kert_win_fraction": 1.0,
+        "median_log10_gap_per_row": 4.0,
+        "mean_log10_gap_per_row": 2000.0,
+        "nrt_over_kert_build_median": 30.0,
+    }
+}
+
+
+def test_corpus_suite_passes_on_fresh_baseline():
+    failures, report = gate.compare(
+        CORPUS_BASELINE, copy.deepcopy(CORPUS_BASELINE), suite="corpus"
+    )
+    assert failures == []
+    assert report
+
+
+def test_corpus_suite_fails_on_degraded_summary():
+    """A synthetically degraded corpus summary must fail the gate."""
+    worse = copy.deepcopy(CORPUS_BASELINE)
+    worse["summary"]["kert_win_fraction"] = 0.4       # below the 0.5 floor
+    worse["summary"]["median_log10_gap_per_row"] = 1.0  # -75% accuracy gap
+    worse["summary"]["nrt_over_kert_build_median"] = 1.2  # cost edge gone
+    failures, _ = gate.compare(CORPUS_BASELINE, worse, suite="corpus")
+    # win fraction fails twice: the relative gate and the hard floor.
+    assert len(failures) == 4
+    assert any("hard-floor" in f for f in failures)
+    assert any("kert_win_fraction" in f for f in failures)
+    assert any("median_log10_gap_per_row" in f for f in failures)
+    assert any("nrt_over_kert_build_median" in f for f in failures)
+
+
+def test_corpus_win_fraction_hard_floor():
+    """Even a drifted baseline cannot launder a sub-0.5 win fraction."""
+    base = copy.deepcopy(CORPUS_BASELINE)
+    base["summary"]["kert_win_fraction"] = 0.45  # baseline itself slipped
+    fresh = copy.deepcopy(base)
+    failures, _ = gate.compare(base, fresh, suite="corpus")
+    assert len(failures) == 1
+    assert "hard-floor" in failures[0]
+
+
+def test_corpus_build_ratio_wobble_within_wide_tolerance():
+    """KERT builds are milliseconds, so CI runs the corpus gate with
+    --tolerance 0.45; a 40% timer wobble on the ratio must pass there."""
+    wobble = copy.deepcopy(CORPUS_BASELINE)
+    wobble["summary"]["nrt_over_kert_build_median"] *= 0.6
+    failures, _ = gate.compare(
+        CORPUS_BASELINE, wobble, suite="corpus", tolerance=0.45
+    )
+    assert failures == []
+    # The default 30% band would have caught the same drop.
+    failures, _ = gate.compare(CORPUS_BASELINE, wobble, suite="corpus")
+    assert len(failures) == 1
+
+
+def test_gate_accepts_the_committed_corpus_baseline():
+    """The real BENCH_corpus.json must satisfy the corpus suite."""
+    committed = _GATE.parent.parent / "BENCH_corpus.json"
+    payload = json.loads(committed.read_text())
+    failures, _ = gate.compare(payload, payload, suite="corpus", absolute=True)
+    assert failures == []
+    # And its recorded cells must honour the headline claims the
+    # benchmark asserts per run.
+    assert len(payload["cells"]) >= 9
+    for name, cell in payload["cells"].items():
+        assert cell["kert"]["build_s"] > 0.0, name
+        assert cell["nrt"]["build_s"] > 0.0, name

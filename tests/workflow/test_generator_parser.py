@@ -23,6 +23,68 @@ def test_generator_validation():
         random_workflow(5, rng, p_parallel=0.8, p_choice=0.5)
 
 
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"p_parallel": -0.1},
+        {"p_choice": -0.2},
+        {"p_choice": 1.2},
+        {"p_loop": 1.5},
+        {"p_loop": float("nan")},
+        {"max_branches": 1},
+        {"p_loop": 0.2, "loop_continue_prob": -0.1},
+        {"p_loop": 0.2, "loop_continue_prob": 1.0},
+    ],
+)
+def test_generator_rejects_invalid_knobs(kwargs):
+    with pytest.raises(WorkflowError):
+        random_workflow(8, np.random.default_rng(0), **kwargs)
+
+
+def test_generator_loop_termination_guard():
+    """continue_prob near 1.0 means unbounded expected iterations; the
+    generator must refuse rather than emit workflows that never finish."""
+    rng = np.random.default_rng(0)
+    with pytest.raises(WorkflowError, match="continue"):
+        random_workflow(8, rng, p_loop=0.3, loop_continue_prob=0.95)
+    # Harmless when loops are disabled: the knob is never exercised.
+    wf = random_workflow(8, np.random.default_rng(1), p_loop=0.0,
+                         loop_continue_prob=0.95)
+    assert wf.n_services() == 8
+    # At the guard boundary generation still works.
+    wf = random_workflow(8, np.random.default_rng(2), p_loop=0.5,
+                         loop_continue_prob=0.9)
+    assert wf.n_services() == 8
+
+
+def test_generator_choice_probabilities_normalized():
+    """Every generated Choice carries non-negative branch probabilities
+    summing to one (the construct validates; assert it explicitly)."""
+    rng = np.random.default_rng(5)
+    n_choices = 0
+    for _ in range(30):
+        wf = random_workflow(12, rng, p_choice=0.6)
+        for node in wf.walk():
+            if isinstance(node, Choice):
+                n_choices += 1
+                assert len(node.probabilities) == len(node.branches)
+                assert all(p >= 0 for p in node.probabilities)
+                assert sum(node.probabilities) == pytest.approx(1.0)
+    assert n_choices > 0
+
+
+def test_generator_loops_respect_guard():
+    rng = np.random.default_rng(6)
+    n_loops = 0
+    for _ in range(30):
+        wf = random_workflow(12, rng, p_loop=0.5, loop_continue_prob=0.7)
+        for node in wf.walk():
+            if isinstance(node, Loop):
+                n_loops += 1
+                assert 0.0 <= node.continue_prob <= 0.9
+    assert n_loops > 0
+
+
 def test_generator_exact_service_count():
     rng = np.random.default_rng(1)
     for n in (1, 2, 7, 30, 100):
