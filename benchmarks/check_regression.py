@@ -9,7 +9,10 @@ Two benchmark payloads are guarded:
 - ``--suite obs`` — ``tests/perf/test_obs_overhead.py`` persists
   ``BENCH_obs.json`` (enabled-vs-disabled instrumentation overhead and
   ``/metrics`` scrape latency); the gate keeps the observability layer's
-  "near-zero overhead" contract from silently eroding.
+  "near-zero overhead" contract from silently eroding.  Once the
+  baseline carries the SLO-budget ``budgets`` section, the ratio of
+  per-evaluation burn tracking to once-per-publish budget derivation is
+  ceilinged too (plus raw latencies under ``--absolute``).
 - ``--suite serving`` — ``benchmarks/test_serving_throughput.py``
   persists ``BENCH_serving.json`` (sharded-fabric load harness); the
   gate keeps the dynamic batcher's coalesce ratio and the guarded
@@ -113,6 +116,19 @@ SUITES = {
         ),
         "upper_absolute": (
             ("scrape", "p95_seconds", "p95 /metrics render latency (s)"),
+        ),
+        # Budget metrics gate once the baseline records them, so
+        # pre-budget payloads stay valid.
+        "optional_upper": (
+            (
+                "budgets",
+                "track_over_derive_ratio",
+                "per-evaluation burn tracking vs budget derivation",
+            ),
+        ),
+        "optional_upper_absolute": (
+            ("budgets", "derive_seconds", "budget derivation latency (s)"),
+            ("budgets", "track_seconds", "burn tracking latency (s)"),
         ),
     },
     "serving": {

@@ -228,3 +228,35 @@ class RapidAssessor:
         m, v = self.assess(evidence)
         std = math.sqrt(max(v, 1e-18))
         return float(norm.sf(threshold, loc=m, scale=std))
+
+    def response_moments(
+        self,
+    ) -> tuple[float, float, dict[str, tuple[float, float, float]]]:
+        """Joint second-order summary of the services *and* ``D``.
+
+        Returns ``(E[D], Var[D], per_service)`` where ``per_service``
+        maps each service to ``(mean, var, cov(X_i, D))`` — the Clark
+        propagation tracks covariances of every intermediate term with
+        the base variables, so the service/response covariances come for
+        free from the same sweep :meth:`assess` runs.  Var[D] includes
+        the response node's own noise (which is independent of the
+        services, so the covariances are unaffected).
+        """
+        state = _MomentState(
+            list(self._names), np.asarray(self._mean), np.asarray(self._cov)
+        )
+        idx = _propagate(self.model.f.expression, state)
+        d_mean, d_var = state.get(idx)
+        per_service = {
+            name: (
+                state.mean[i],
+                state.cov_between(i, i),
+                state.cov_between(i, idx),
+            )
+            for name, i in ((n, state.index[n]) for n in self._names)
+        }
+        return (
+            float(d_mean),
+            float(d_var + self._response_var),
+            per_service,
+        )

@@ -249,6 +249,60 @@ def cmd_obs(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_slo(args: argparse.Namespace) -> int:
+    # action == "budgets": invert a saved model into per-service budgets.
+    import json as _json
+
+    from repro.bn.budgets import derive_budgets, discrete_blame, normal_blame
+    from repro.core.persistence import load_model
+    from repro.exceptions import InferenceError
+
+    model = load_model(args.model)
+    alloc = derive_budgets(model, sla=args.sla, target=args.target)
+    blame: dict = {}
+    if not args.no_blame:
+        try:
+            from repro.apps.assessment import RapidAssessor
+
+            assessor = RapidAssessor(model)
+            d_mean, d_var, moments = assessor.response_moments()
+            blame = normal_blame(
+                moments, d_mean, d_var, alloc.as_mapping(), args.sla
+            )
+        except InferenceError:
+            # Discrete model: blame from the compiled engine's joints.
+            blame = discrete_blame(
+                model.network.compiled(),
+                model.discretizer,
+                model.response,
+                alloc.as_mapping(),
+                args.sla,
+            )
+    print(
+        f"objective: P(D > {args.sla:g}) <= {args.target:g}   "
+        f"slack={alloc.slack:.3f} composed={alloc.composed:.4f} "
+        f"tail_total={alloc.tail_total:.4f} "
+        f"{'feasible' if alloc.feasible else 'INFEASIBLE'}"
+    )
+    print(f"composition: {alloc.expression}")
+    print(f"{'service':>10s} {'budget':>9s} {'mean':>8s} {'std':>8s} "
+          f"{'tail':>8s} {'blame':>8s}")
+    for sb in alloc.budgets:
+        print(
+            f"{sb.service:>10s} {sb.budget:9.4f} {sb.mean:8.4f} "
+            f"{sb.std:8.4f} {sb.tail_mass:8.5f} "
+            f"{blame.get(sb.service, 0.0):8.4f}"
+        )
+    if args.json:
+        payload = alloc.to_dict()
+        payload["blame"] = blame
+        with open(args.json, "w", encoding="utf-8") as fh:
+            _json.dump(payload, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote budget allocation to {args.json}")
+    return 0
+
+
 def cmd_dashboard(args: argparse.Namespace) -> int:
     from repro.obs.dashboard import load_snapshot, render_html, render_terminal
 
@@ -708,6 +762,23 @@ def build_parser() -> argparse.ArgumentParser:
                    help="shorthand for --format json (kept for back-compat)")
     p.add_argument("--out", help="write the snapshot here instead of stdout")
     p.set_defaults(fn=cmd_obs)
+
+    p = sub.add_parser(
+        "slo",
+        help="SLO tooling: derive per-service budgets from a model",
+    )
+    p.add_argument("action", choices=("budgets",))
+    p.add_argument("--model", required=True,
+                   help="saved model bundle (from `repro build`)")
+    p.add_argument("--sla", type=float, required=True,
+                   help="end-to-end response-time bound (seconds)")
+    p.add_argument("--target", type=float, required=True,
+                   help="tolerated P(D > sla), in (0, 1)")
+    p.add_argument("--no-blame", action="store_true",
+                   help="skip the posterior blame column (faster)")
+    p.add_argument("--json", metavar="PATH",
+                   help="also write the allocation (+ blame) as JSON")
+    p.set_defaults(fn=cmd_slo)
 
     p = sub.add_parser(
         "dashboard",

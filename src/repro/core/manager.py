@@ -82,6 +82,12 @@ class CycleReport:
     # this cycle and which trigger(s) caused the action taken.
     slo_breaches: list = field(default_factory=list)
     trigger: "str | None" = None         # "model" | "slo" | "model+slo"
+    # Budget attribution (PR 10): the ranked budget-eater table from the
+    # attached BudgetTracker at decision time — rows of service /
+    # allocated / consumed / burn_rate / blame / breached.  When an
+    # action was taken on a breached budget, the targeted service is
+    # the first breached row.
+    attribution: list = field(default_factory=list)
 
     @property
     def acted(self) -> bool:
@@ -221,6 +227,73 @@ class AutonomicManager:
         m.counter("manager.window.violations").inc(
             int(np.count_nonzero(finite > self.policy.threshold))
         )
+        tracker = self._budget_tracker()
+        if tracker is not None:
+            # Per-service measured streams for budget-burn tracking;
+            # finer buckets than the registry default because burn
+            # compares a windowed percentile against a bound that may
+            # sit only ~20 % above the healthy level.
+            from repro.obs.attribution import BUDGET_STREAM_BUCKETS
+
+            for service in self.env.service_names:
+                col = np.asarray(data[service], dtype=float)
+                shist = m.histogram(
+                    tracker.stream_name(service),
+                    buckets=BUDGET_STREAM_BUCKETS,
+                )
+                for value in col[np.isfinite(col)]:
+                    shist.observe(float(value))
+
+    def _budget_tracker(self):
+        """The BudgetTracker riding the attached SLO monitor, if any."""
+        return getattr(self.slo_monitor, "budget_tracker", None)
+
+    def _refresh_budgets(self, model) -> None:
+        """(Re)derive per-service budgets from a healthy published model.
+
+        Called only on non-acting cycles — budgets must come from a
+        model of the system *meeting* its SLO, or a degradation would
+        stretch its own budget and hide inside it.  Amortized per model
+        publish, never per query/scrape.
+        """
+        tracker = self._budget_tracker()
+        if tracker is None:
+            return
+        from repro.bn.budgets import derive_budgets
+
+        with _span("manager.budgets"):
+            try:
+                allocation = derive_budgets(
+                    model,
+                    sla=self.policy.threshold,
+                    target=self.policy.max_violation_prob,
+                )
+            except ReproError:
+                return  # e.g. a model without an invertible f
+            tracker.update_allocation(allocation)
+        if _OBS.enabled:
+            _OBS.metrics.counter("manager.budget_derivations").inc()
+
+    def _refresh_blame(self, assessor) -> None:
+        """Posterior blame ``P(X_i > b_i | D > sla)`` from *this* cycle's
+        fresh model against the standing budgets — the fresh model
+        reflects any degradation, so blame points at the culprit even
+        while the budgets still describe the healthy reference."""
+        tracker = self._budget_tracker()
+        if tracker is None or tracker.allocation is None:
+            return
+        from repro.bn.budgets import normal_blame
+
+        d_mean, d_var, moments = assessor.response_moments()
+        tracker.update_blame(
+            normal_blame(
+                moments,
+                d_mean,
+                d_var,
+                tracker.allocation.as_mapping(),
+                self.policy.threshold,
+            )
+        )
 
     def _evaluate_slo(self, data) -> list:
         """Feed the window stream and run one SLO-monitor interval."""
@@ -280,6 +353,7 @@ class AutonomicManager:
             )
             report.slo_breaches = list(breaches)
             return report
+        self._refresh_blame(assessor)
         report = CycleReport(
             cycle=cycle,
             violation_prob=p_violation,
@@ -288,6 +362,9 @@ class AutonomicManager:
             window_verdict=verdict,
             slo_breaches=list(breaches),
         )
+        tracker = self._budget_tracker()
+        if tracker is not None and tracker.allocation is not None:
+            report.attribution = tracker.ranking()
         if self._tripwire is not None:
             with _span("manager.publish"):
                 outcome = self._tripwire.publish_checked(
@@ -318,6 +395,7 @@ class AutonomicManager:
         else:
             self._reference_model = model
             self._reference_localizer = None
+            self._refresh_budgets(model)
         self.history.append(report)
         return report
 
@@ -339,6 +417,18 @@ class AutonomicManager:
         suspects = localizer.localize(observed)
         report.suspects = [s.row() for s in suspects[:3]]
         target = suspects[0].service
+        # A breached per-service budget is the sharper signal: it names
+        # the service measurably eating the end-to-end allocation, so
+        # the action targets it directly instead of the global ranking.
+        budget_breaches = [
+            b
+            for b in report.slo_breaches
+            if getattr(b, "kind", None) == "budget"
+            and getattr(b, "service", None) in self.env.service_names
+        ]
+        if budget_breaches:
+            budget_breaches.sort(key=lambda b: -float(b.burn_rate))
+            target = budget_breaches[0].service
         chosen = None
         for speedup in sorted(self.policy.candidate_speedups, reverse=True):
             current_mean = float(np.mean(data[target]))

@@ -25,6 +25,9 @@ Built on those, the egress/consumption layer:
 - :mod:`repro.obs.slo` — windowed p95/p99 + error-rate objectives with
   burn-rate alerting, feeding ``SLOBreach`` events to the autonomic
   manager;
+- :mod:`repro.obs.attribution` — per-service SLO budget tracking
+  (``BudgetTracker``): burn rates against KERT-BN-derived budgets and
+  ranked budget-eater attribution with posterior blame;
 - :mod:`repro.obs.dashboard` — terminal + self-contained HTML
   rendering of snapshots (``repro dashboard``).
 
@@ -47,6 +50,11 @@ Quickstart
 >>> obs.reset(); obs.disable()
 """
 
+from repro.obs.attribution import (
+    BUDGET_GAUGE_FAMILIES,
+    BUDGET_STREAM_BUCKETS,
+    BudgetTracker,
+)
 from repro.obs.export import (
     ExportServer,
     JsonlEventSink,
@@ -84,6 +92,9 @@ from repro.obs.slo import (
 from repro.obs.tracing import Span, Tracer
 
 __all__ = [
+    "BUDGET_GAUGE_FAMILIES",
+    "BUDGET_STREAM_BUCKETS",
+    "BudgetTracker",
     "DEFAULT_TIME_BUCKETS",
     "Counter",
     "ErrorRateObjective",

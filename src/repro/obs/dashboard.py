@@ -18,8 +18,10 @@ from __future__ import annotations
 import html
 import json
 from typing import List
+from urllib.error import URLError
 from urllib.request import urlopen
 
+from repro.exceptions import ReproError
 from repro.obs import runtime
 
 __all__ = ["load_snapshot", "render_terminal", "render_html"]
@@ -27,15 +29,33 @@ __all__ = ["load_snapshot", "render_terminal", "render_html"]
 
 def load_snapshot(source: "str | None" = None, timeout: float = 5.0) -> dict:
     """Resolve a snapshot dict from a file path, a ``/snapshot`` URL, or
-    (``None``) the live in-process observability state."""
+    (``None``) the live in-process observability state.
+
+    Exporter trouble surfaces as a one-line :class:`ReproError` (the CLI
+    prints it and exits 1) rather than a urllib/json traceback.
+    """
     if source is None:
         return runtime.snapshot()
     if source.startswith(("http://", "https://")):
         url = source.rstrip("/")
         if not url.endswith("/snapshot"):
             url += "/snapshot"
-        with urlopen(url, timeout=timeout) as resp:  # noqa: S310 - operator URL
-            return json.loads(resp.read().decode("utf-8"))
+        try:
+            with urlopen(url, timeout=timeout) as resp:  # noqa: S310 - operator URL
+                body = resp.read().decode("utf-8", errors="replace")
+        except (URLError, OSError) as exc:
+            reason = getattr(exc, "reason", None) or exc
+            raise ReproError(
+                f"cannot reach exporter at {url}: {reason}"
+            ) from exc
+        try:
+            return json.loads(body)
+        except json.JSONDecodeError as exc:
+            head = body.strip().splitlines()[0][:80] if body.strip() else ""
+            raise ReproError(
+                f"exporter at {url} returned a non-JSON body"
+                + (f" (starts with {head!r})" if head else " (empty)")
+            ) from exc
     with open(source, encoding="utf-8") as fh:
         return json.load(fh)
 
@@ -49,6 +69,33 @@ def _fmt_num(value: "float | None", unit: str = "") -> str:
     if value is None:
         return "-"
     return f"{value:.6g}{unit}"
+
+
+_SPARK_GLYPHS = "▁▂▃▄▅▆▇█"
+
+
+def _sparkline(history: "list | tuple") -> str:
+    """Unicode burn-rate sparkline, scaled so the burn=1.0 budget line
+    stays comparable across services (taller history wins the scale)."""
+    values = [max(float(v), 0.0) for v in history]
+    if not values:
+        return ""
+    top = max(max(values), 1.0)
+    return "".join(
+        _SPARK_GLYPHS[min(int(v / top * len(_SPARK_GLYPHS)), 7)]
+        for v in values
+    )
+
+
+def _budget_head(budgets: dict) -> str:
+    head = (
+        f"sla={_fmt_num(budgets.get('sla'))} "
+        f"target={_fmt_num(budgets.get('target'))} "
+        f"slack={_fmt_num(budgets.get('slack'))}"
+    )
+    if not budgets.get("feasible", True):
+        head += " INFEASIBLE"
+    return head
 
 
 def _span_lines(spans: list, lines: List[str], lead: str = "") -> None:
@@ -87,6 +134,22 @@ def render_terminal(snap: dict, max_rows: int = 25) -> str:
                 f"threshold={_fmt_num(obj.get('threshold'))} "
                 f"burn_rate={_fmt_num(obj.get('burn_rate'))}"
             )
+        budgets = slo.get("budgets")
+        if budgets:
+            lines.append("")
+            lines.append(
+                f"-- per-service budgets ({_budget_head(budgets)}) --"
+            )
+            for row in budgets.get("services", ()):
+                state = "OVER" if row.get("breached") else "ok"
+                lines.append(
+                    f"  {row.get('service', '?'):<8} {state:<5} "
+                    f"allocated={_fmt_num(row.get('allocated'))} "
+                    f"consumed={_fmt_num(row.get('consumed'))} "
+                    f"burn={_fmt_num(row.get('burn_rate'))} "
+                    f"blame={_fmt_num(row.get('blame'))} "
+                    f"{_sparkline(row.get('history') or [])}"
+                )
     counters = metrics.get("counters", {})
     if counters:
         lines.append("")
@@ -147,6 +210,7 @@ th { background: #f4f4fb; } td.num { text-align: right;
 pre.trace { background: #f8f8fc; padding: 1rem; overflow-x: auto;
             font-size: 0.8rem; line-height: 1.35; }
 .bar { background: #dcdcf5; height: 0.6rem; display: inline-block; }
+td.spark { font-family: monospace; letter-spacing: 0.05em; }
 """
 
 
@@ -216,6 +280,35 @@ def render_html(snap: dict, title: str = "repro observability report") -> str:
                 )
             )
         parts.append("</table>")
+        budgets = slo.get("budgets")
+        if budgets:
+            parts.append(
+                f"<h2>Per-service budgets ({_h(_budget_head(budgets))})"
+                "</h2><table>"
+            )
+            parts.append(
+                "<tr><th>service</th><th>state</th><th>allocated</th>"
+                "<th>consumed</th><th>burn rate</th><th>blame</th>"
+                "<th>burn history</th></tr>"
+            )
+            for row in budgets.get("services", ()):
+                breached = bool(row.get("breached"))
+                parts.append(
+                    "<tr><td>{}</td><td class={}>{}</td>"
+                    "<td class=num>{}</td><td class=num>{}</td>"
+                    "<td class=num>{}</td><td class=num>{}</td>"
+                    "<td class=spark>{}</td></tr>".format(
+                        _h(row.get("service", "?")),
+                        "breach" if breached else "ok",
+                        "OVER" if breached else "ok",
+                        _fmt_num(row.get("allocated")),
+                        _fmt_num(row.get("consumed")),
+                        _fmt_num(row.get("burn_rate")),
+                        _fmt_num(row.get("blame")),
+                        _h(_sparkline(row.get("history") or [])),
+                    )
+                )
+            parts.append("</table>")
     counters = metrics.get("counters", {})
     if counters:
         parts.append(f"<h2>Counters ({len(counters)})</h2><table>")

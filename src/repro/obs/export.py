@@ -94,6 +94,30 @@ def _labels(const_labels: "Mapping[str, str] | None", extra: str = "") -> str:
     return "{" + ",".join(parts) + "}" if parts else ""
 
 
+#: Dotted-gauge families re-grouped into one labeled series each:
+#: ``slo.budget.<family>.<service>`` →
+#: ``repro_slo_budget_<family>{service="..."}``.  The registry has no
+#: label concept, so the service rides in the dotted name until export.
+_BUDGET_GAUGE_PREFIX = "slo.budget."
+_BUDGET_GAUGE_FAMILIES = (
+    "allocated",
+    "consumed",
+    "burn_rate",
+    "blame",
+    "breached",
+)
+
+
+def _budget_gauge_service(name: str) -> "tuple[str, str] | None":
+    """``slo.budget.<family>.<service>`` → ``(family, service)``."""
+    if not name.startswith(_BUDGET_GAUGE_PREFIX):
+        return None
+    family, _, service = name[len(_BUDGET_GAUGE_PREFIX):].partition(".")
+    if family in _BUDGET_GAUGE_FAMILIES and service:
+        return family, service
+    return None
+
+
 def render_prometheus(
     metrics_snapshot: dict,
     const_labels: "Mapping[str, str] | None" = None,
@@ -105,7 +129,10 @@ def render_prometheus(
     cumulative ``_bucket{le=...}`` series (terminated by ``le="+Inf"``)
     plus ``_sum`` and ``_count``.  ``const_labels`` are attached to
     every sample — label values are escaped, so instance identifiers
-    may contain quotes, backslashes, or newlines.
+    may contain quotes, backslashes, or newlines.  The per-service
+    budget gauges (``slo.budget.<family>.<service>``) are regrouped
+    into one series per family with a ``service`` label, the shape a
+    Grafana budget panel expects.
     """
     lines: list = []
     for name, value in metrics_snapshot.get("counters", {}).items():
@@ -113,11 +140,32 @@ def render_prometheus(
         lines.append(f"# HELP {prom} repro counter {_escape_help(name)}")
         lines.append(f"# TYPE {prom} counter")
         lines.append(f"{prom}{_labels(const_labels)} {_fmt(value)}")
+    budget_series: "dict[str, list[tuple[str, float]]]" = {}
     for name, value in metrics_snapshot.get("gauges", {}).items():
+        grouped = _budget_gauge_service(name)
+        if grouped is not None:
+            budget_series.setdefault(grouped[0], []).append(
+                (grouped[1], value)
+            )
+            continue
         prom = sanitize_metric_name(name, prefix)
         lines.append(f"# HELP {prom} repro gauge {_escape_help(name)}")
         lines.append(f"# TYPE {prom} gauge")
         lines.append(f"{prom}{_labels(const_labels)} {_fmt(value)}")
+    for family in _BUDGET_GAUGE_FAMILIES:
+        if family not in budget_series:
+            continue
+        prom = sanitize_metric_name(_BUDGET_GAUGE_PREFIX + family, prefix)
+        lines.append(
+            f"# HELP {prom} repro gauge "
+            f"{_escape_help(_BUDGET_GAUGE_PREFIX + family)} per service"
+        )
+        lines.append(f"# TYPE {prom} gauge")
+        for service, value in sorted(budget_series[family]):
+            labels = _labels(
+                const_labels, f'service="{escape_label_value(service)}"'
+            )
+            lines.append(f"{prom}{labels} {_fmt(value)}")
     for name, summary in metrics_snapshot.get("histograms", {}).items():
         prom = sanitize_metric_name(name, prefix)
         lines.append(f"# HELP {prom} repro histogram {_escape_help(name)}")

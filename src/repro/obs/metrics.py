@@ -243,6 +243,18 @@ class MetricsRegistry:
                 instrument = self._gauges[name] = Gauge(name)
             return instrument
 
+    def remove_gauge(self, name: str) -> None:
+        """Drop a gauge so it stops appearing in snapshots/exports.
+
+        Needed for label-style dotted series (``slo.budget.*.<service>``)
+        whose subject can disappear — a plain ``reset`` keeps instrument
+        names alive, which would leave stale series on ``/metrics``.
+        Cached handles to the removed gauge keep working but are
+        orphaned; a later :meth:`gauge` call creates a fresh instrument.
+        """
+        with self._lock:
+            self._gauges.pop(name, None)
+
     def histogram(
         self, name: str, buckets: Optional[Sequence[float]] = None
     ) -> Histogram:

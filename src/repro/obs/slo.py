@@ -75,12 +75,13 @@ class SLOBreach:
     """One objective over budget for the current window."""
 
     objective: str
-    kind: str               # "latency" | "error_rate"
+    kind: str               # "latency" | "error_rate" | "budget"
     observed: float
     threshold: float
     burn_rate: float        # observed / threshold (>= the alert bound)
     window_intervals: int
     detail: str = ""
+    service: Optional[str] = None  # set for kind="budget" breaches
 
     def to_dict(self) -> dict:
         return {
@@ -91,7 +92,23 @@ class SLOBreach:
             "burn_rate": self.burn_rate,
             "window_intervals": self.window_intervals,
             "detail": self.detail,
+            "service": self.service,
         }
+
+    @classmethod
+    def from_dict(cls, spec: dict) -> "SLOBreach":
+        return cls(
+            objective=str(spec["objective"]),
+            kind=str(spec["kind"]),
+            observed=float(spec["observed"]),
+            threshold=float(spec["threshold"]),
+            burn_rate=float(spec["burn_rate"]),
+            window_intervals=int(spec["window_intervals"]),
+            detail=str(spec.get("detail", "")),
+            service=(
+                None if spec.get("service") is None else str(spec["service"])
+            ),
+        )
 
 
 def _percentile_from_buckets(
@@ -143,6 +160,7 @@ class SLOMonitor:
         window: int = 5,
         burn_rate_threshold: float = 1.0,
         min_points: int = 1,
+        budget_tracker=None,
     ):
         if not objectives:
             raise ValueError("SLOMonitor needs at least one objective")
@@ -166,6 +184,9 @@ class SLOMonitor:
         }
         self._subscribers: List[Callable[[SLOBreach], None]] = []
         self.evaluations = 0
+        #: Optional :class:`~repro.obs.attribution.BudgetTracker`; when
+        #: attached, per-service budget burn rides the breach pipeline.
+        self.budget_tracker = budget_tracker
 
     @property
     def registry(self):
@@ -280,6 +301,16 @@ class SLOMonitor:
                 runtime.emit_event("slo_breach", breach.to_dict())
                 for callback in self._subscribers:
                     callback(breach)
+        tracker = self.budget_tracker
+        if tracker is not None and tracker.allocation is not None:
+            for record in tracker.observe(m):
+                breach = SLOBreach.from_dict(record)
+                breaches.append(breach)
+                m.counter("slo.breaches").inc()
+                m.counter(f"slo.{breach.objective}.breaches").inc()
+                runtime.emit_event("slo_breach", breach.to_dict())
+                for callback in self._subscribers:
+                    callback(breach)
         self.publish_gauges()
         return breaches
 
@@ -295,10 +326,13 @@ class SLOMonitor:
                 m.gauge(f"slo.{name}.value").set(float(ev["observed"]))
             m.gauge(f"slo.{name}.burn_rate").set(float(ev["burn_rate"]))
             m.gauge(f"slo.{name}.breached").set(1.0 if ev["breached"] else 0.0)
+        tracker = self.budget_tracker
+        if tracker is not None and tracker.allocation is not None:
+            tracker.publish_gauges(m)
 
     def status(self) -> dict:
         """JSON-ready per-objective view (for ``/healthz``, dashboards)."""
-        return {
+        out = {
             "evaluations": self.evaluations,
             "window": self.window,
             "burn_rate_threshold": self.burn_rate_threshold,
@@ -308,17 +342,26 @@ class SLOMonitor:
                 for o in self.objectives
             ],
         }
+        tracker = self.budget_tracker
+        if tracker is not None and tracker.allocation is not None:
+            out["budgets"] = tracker.status()
+        return out
 
 
 def manager_objectives(policy, percentile: float = 95.0) -> tuple:
     """The default objective pair guarding an :class:`~repro.core.
     manager.AutonomicManager`'s measured stream, derived from its
-    :class:`~repro.core.manager.SLAPolicy`: windowed p95 of observed
-    response times against the SLA threshold, and the observed
-    violation fraction against the tolerated violation probability."""
+    :class:`~repro.core.manager.SLAPolicy`: the windowed response-time
+    percentile (p95 by default) against the SLA threshold, and the
+    observed violation fraction against the tolerated violation
+    probability."""
+    if policy is None:
+        raise ValueError(
+            "manager_objectives needs an SLAPolicy, got None"
+        )
     return (
         LatencyObjective(
-            name="response_p95",
+            name=f"response_p{percentile:g}",
             histogram="manager.window.response_seconds",
             threshold_seconds=policy.threshold,
             percentile=percentile,

@@ -50,6 +50,25 @@ SNAP = {
              "observed": 0.01, "threshold": 0.2, "burn_rate": 0.05,
              "breached": False, "window_intervals": 4},
         ],
+        "budgets": {
+            "allocations_seen": 2,
+            "percentile": 95.0,
+            "window": 5,
+            "burn_rate_threshold": 1.0,
+            "sla": 3.5,
+            "target": 0.1,
+            "slack": 2.2,
+            "feasible": True,
+            "expression": "X1 + max(X3, X6)",
+            "services": [
+                {"service": "X3", "allocated": 0.9, "consumed": 1.4,
+                 "burn_rate": 1.56, "blame": 0.94, "breached": True,
+                 "points": 60, "history": [0.5, 0.7, 1.56]},
+                {"service": "X6", "allocated": 1.1, "consumed": 0.8,
+                 "burn_rate": 0.73, "blame": 0.2, "breached": False,
+                 "points": 60, "history": [0.7, 0.73]},
+            ],
+        },
     },
 }
 
@@ -125,6 +144,74 @@ def test_load_snapshot_from_export_url(obs_active):
         snap2 = load_snapshot(srv.url + "/snapshot")
     assert snap["metrics"]["counters"]["served.counter"] == 3
     assert snap2["metrics"]["counters"]["served.counter"] == 3
+
+
+def test_terminal_renders_budget_attribution_table():
+    text = render_terminal(SNAP)
+    assert "per-service budgets (sla=3.5 target=0.1 slack=2.2)" in text
+    x3 = next(ln for ln in text.splitlines() if ln.lstrip().startswith("X3"))
+    assert "OVER" in x3 and "burn=1.56" in x3 and "blame=0.94" in x3
+    # burn history renders as a sparkline, highest sample tallest
+    assert x3.rstrip().endswith("▃▄█")
+    x6 = next(ln for ln in text.splitlines() if ln.lstrip().startswith("X6"))
+    assert "ok" in x6 and "OVER" not in x6
+
+
+def test_terminal_flags_infeasible_allocations():
+    snap = json.loads(json.dumps(SNAP))
+    snap["slo"]["budgets"]["feasible"] = False
+    assert "INFEASIBLE" in render_terminal(snap)
+
+
+def test_html_renders_budget_attribution_table():
+    html = render_html(SNAP)
+    assert "Per-service budgets" in html
+    assert "<td>X3</td>" in html and "OVER" in html
+    assert '<td class=spark>▃▄█</td>' in html
+    assert "td.spark" in html  # sparkline styling ships with the page
+
+
+# --------------------------------------------------------------------- #
+# load_snapshot error reporting
+# --------------------------------------------------------------------- #
+
+
+def test_load_snapshot_unreachable_url_is_a_one_liner():
+    from repro.exceptions import ReproError
+
+    # Port 9 (discard) is firewalled/closed on any sane CI host.
+    with pytest.raises(ReproError, match="cannot reach exporter at"):
+        load_snapshot("http://127.0.0.1:9/snapshot")
+
+
+def test_load_snapshot_non_json_body_names_the_culprit():
+    import http.server
+    import threading
+
+    from repro.exceptions import ReproError
+
+    class _HtmlHandler(http.server.BaseHTTPRequestHandler):
+        def do_GET(self):  # noqa: N802 (stdlib handler naming)
+            body = b"<html>not metrics</html>"
+            self.send_response(200)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def log_message(self, *args):
+            pass
+
+    srv = http.server.HTTPServer(("127.0.0.1", 0), _HtmlHandler)
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    try:
+        url = f"http://127.0.0.1:{srv.server_address[1]}/snapshot"
+        with pytest.raises(ReproError, match="non-JSON body") as err:
+            load_snapshot(url)
+        assert "<html>" in str(err.value)
+    finally:
+        srv.shutdown()
+        thread.join()
 
 
 # --------------------------------------------------------------------- #

@@ -334,3 +334,109 @@ def test_window_metrics_feed_without_a_monitor_when_obs_enabled(obs_active):
     assert OBS.metrics.histogram("manager.window.response_seconds").count > 0
     assert OBS.metrics.counter("manager.window.points").value > 0
     assert OBS.metrics.counter("manager.window.violations").value > 0
+
+
+# --------------------------------------------------------------------- #
+# Serialization contracts (ISSUE 10 satellites)
+# --------------------------------------------------------------------- #
+
+
+def test_slobreach_to_dict_round_trips():
+    breach = SLOBreach(
+        objective="budget.X3",
+        kind="budget",
+        observed=0.41,
+        threshold=0.3,
+        burn_rate=1.3667,
+        window_intervals=3,
+        detail="p95(stream) over 3 interval(s)",
+        service="X3",
+    )
+    spec = breach.to_dict()
+    assert spec["service"] == "X3"
+    assert SLOBreach.from_dict(spec) == breach
+    # Pre-PR-10 payloads carry no service key; it defaults to None.
+    legacy = {k: v for k, v in spec.items() if k != "service"}
+    assert SLOBreach.from_dict(legacy).service is None
+
+
+def test_status_matches_golden_snapshot():
+    """The status() dict is the dashboard/export contract — pin it."""
+    import json
+    import pathlib
+
+    reg = MetricsRegistry()
+    mon = SLOMonitor(
+        [
+            LatencyObjective(
+                name="p95", histogram="lat_seconds", threshold_seconds=1.0
+            ),
+            ErrorRateObjective(
+                name="err", errors="errs", total="total", max_ratio=0.25
+            ),
+        ],
+        registry=reg,
+        window=3,
+    )
+    _observe(reg, [0.2] * 10 + [2.0] * 10)
+    reg.counter("errs").inc(2)
+    reg.counter("total").inc(20)
+    mon.evaluate()
+    golden_path = (
+        pathlib.Path(__file__).parent / "data" / "slo_status_golden.json"
+    )
+    golden = json.loads(golden_path.read_text())
+    assert json.loads(json.dumps(mon.status())) == golden
+
+
+# --------------------------------------------------------------------- #
+# manager_objectives / _percentile_from_buckets edge cases
+# --------------------------------------------------------------------- #
+
+
+def test_manager_objectives_percentile_variants():
+    from repro.core.manager import SLAPolicy
+
+    policy = SLAPolicy(threshold=2.0, max_violation_prob=0.2)
+    p50, _ = manager_objectives(policy, percentile=50.0)
+    assert p50.name == "response_p50" and p50.percentile == 50.0
+    p99, _ = manager_objectives(policy, percentile=99.0)
+    assert p99.name == "response_p99" and p99.percentile == 99.0
+    # The default keeps the historical name the dashboards key on.
+    default, _ = manager_objectives(policy)
+    assert default.name == "response_p95"
+
+
+def test_manager_objectives_reject_missing_policy():
+    with pytest.raises(ValueError, match="SLAPolicy"):
+        manager_objectives(None)
+
+
+def test_percentile_from_buckets_zero_observations():
+    from repro.obs.slo import _percentile_from_buckets
+
+    assert _percentile_from_buckets(BUCKETS, [0] * 5, 95.0) is None
+
+
+def test_percentile_from_buckets_at_bucket_boundaries():
+    from repro.obs.slo import _percentile_from_buckets
+
+    # All mass in the first bucket: p100 interpolates to its upper
+    # bound, and the lower edge of bucket 0 is implicitly zero.
+    assert _percentile_from_buckets(BUCKETS, [10, 0, 0, 0, 0], 100.0) == (
+        pytest.approx(0.1)
+    )
+    assert _percentile_from_buckets(BUCKETS, [10, 0, 0, 0, 0], 10.0) == (
+        pytest.approx(0.01)
+    )
+    # Rank landing exactly on a cumulative boundary stays in that bucket.
+    assert _percentile_from_buckets(BUCKETS, [5, 5, 0, 0, 0], 50.0) == (
+        pytest.approx(0.1)
+    )
+    # Overflow mass (beyond the last bound) clamps to the last bound.
+    assert _percentile_from_buckets(BUCKETS, [0, 0, 0, 0, 7], 95.0) == (
+        pytest.approx(5.0)
+    )
+    assert _percentile_from_buckets(BUCKETS, [1, 0, 0, 0, 1], 99.0) == (
+        pytest.approx(5.0)
+    )
